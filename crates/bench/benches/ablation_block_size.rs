@@ -1,0 +1,43 @@
+//! Ablation A1: HiCOO block size sweep (the paper fixes B = 128 "to fit
+//! into the last-level cache in all platforms"; this bench shows what that
+//! choice costs/buys for Mttkrp and Ttv).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tenbench_bench::data::dataset_tensor;
+use tenbench_bench::suite::make_factors;
+use tenbench_core::dense::{DenseMatrix, DenseVector};
+use tenbench_core::hicoo::{GHicooTensor, HicooTensor};
+use tenbench_core::kernels::{mttkrp, ttv};
+use tenbench_core::par::Schedule;
+use tenbench_gen::registry::find;
+
+fn benches(c: &mut Criterion) {
+    let x = dataset_tensor(find("s4").unwrap(), 0.25);
+    let factors = make_factors(&x, 16);
+    let frefs: Vec<&DenseMatrix<f32>> = factors.iter().collect();
+    let mode = x.order() - 1;
+    let v = DenseVector::constant(x.shape().dim(mode) as usize, 1.0f32);
+    let m = x.nnz() as u64;
+
+    let mut group = c.benchmark_group("ablation/block_size");
+    group.throughput(Throughput::Elements(m));
+    for bits in [3u8, 4, 5, 6, 7, 8] {
+        let hx = HicooTensor::from_coo(&x, bits).unwrap();
+        group.bench_function(BenchmarkId::new("mttkrp_hicoo", format!("B{}", 1u32 << bits)), |b| {
+            b.iter(|| mttkrp::mttkrp_hicoo(&hx, &frefs, mode).unwrap())
+        });
+        let g = GHicooTensor::from_coo_for_mode(&x, bits, mode).unwrap();
+        let gfp = g.fibers(mode).unwrap();
+        group.bench_function(BenchmarkId::new("ttv_hicoo", format!("B{}", 1u32 << bits)), |b| {
+            b.iter(|| ttv::ttv_ghicoo(&g, &gfp, &v, Schedule::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ablation_block_size;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(ablation_block_size);

@@ -1,0 +1,43 @@
+//! Ablation A2: Mttkrp parallelization strategy. The paper's reference is
+//! nonzero-parallel with atomics ("the data race may influence its
+//! performance differently depending on non-zero distributions"); this
+//! bench compares it with the lock-avoiding alternatives the paper
+//! deliberately leaves out of the reference implementation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tenbench_bench::data::dataset_tensor;
+use tenbench_bench::suite::make_factors;
+use tenbench_core::dense::DenseMatrix;
+use tenbench_core::kernels::mttkrp::{mttkrp_with, MttkrpStrategy};
+use tenbench_gen::registry::find;
+
+fn benches(c: &mut Criterion) {
+    // s4 (irregular): a power-law mode concentrates updates on few rows —
+    // the adversarial case for atomics. s1 (regular) spreads them out.
+    for id in ["s4", "s1"] {
+        let x = dataset_tensor(find(id).unwrap(), 0.25);
+        let factors = make_factors(&x, 16);
+        let frefs: Vec<&DenseMatrix<f32>> = factors.iter().collect();
+        let m = x.nnz() as u64;
+        let mut group = c.benchmark_group(format!("ablation/mttkrp/{id}"));
+        group.throughput(Throughput::Elements(3 * m * 16));
+        for (name, strat) in [
+            ("seq", MttkrpStrategy::Seq),
+            ("atomic", MttkrpStrategy::Atomic),
+            ("privatized", MttkrpStrategy::Privatized),
+            ("row_locked", MttkrpStrategy::RowLocked),
+        ] {
+            group.bench_function(BenchmarkId::from_parameter(name), |b| {
+                b.iter(|| mttkrp_with(&x, &frefs, 0, strat).unwrap())
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = ablation_mttkrp;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(ablation_mttkrp);

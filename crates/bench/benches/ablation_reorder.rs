@@ -1,0 +1,54 @@
+//! Ablation A4: mode reordering. The paper notes the irregular operand
+//! gathers of Ttv/Mttkrp can gain locality "from reordering techniques";
+//! this bench measures the frequency-permutation heuristic against the
+//! natural and randomly-shuffled labelings on a power-law tensor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tenbench_bench::data::dataset_tensor;
+use tenbench_core::coo::CooTensor;
+use tenbench_core::dense::DenseVector;
+use tenbench_core::kernels::ttv;
+use tenbench_core::par::Schedule;
+use tenbench_core::reorder::{
+    apply_mode_permutation, frequency_permutation, permute_vector, random_permutation,
+};
+use tenbench_gen::registry::find;
+
+fn variant(x: &CooTensor<f32>, mode: usize, which: &str) -> (CooTensor<f32>, Vec<u32>) {
+    let dim = x.shape().dim(mode);
+    let perm: Vec<u32> = match which {
+        "natural" => (0..dim).collect(),
+        "frequency" => frequency_permutation(x, mode).unwrap(),
+        _ => random_permutation(dim, 42),
+    };
+    let mut xr = x.clone();
+    apply_mode_permutation(&mut xr, mode, &perm).unwrap();
+    (xr, perm)
+}
+
+fn benches(c: &mut Criterion) {
+    let x = dataset_tensor(find("s4").unwrap(), 0.25);
+    let mode = 0; // power-law sparse mode: skewed operand reuse
+    let v = DenseVector::from_fn(x.shape().dim(mode) as usize, |i| (i % 97) as f32 * 0.01);
+    let m = x.nnz() as u64;
+
+    let mut group = c.benchmark_group("ablation/reorder/ttv");
+    group.throughput(Throughput::Elements(2 * m));
+    for which in ["natural", "frequency", "random"] {
+        let (xr, perm) = variant(&x, mode, which);
+        let vr = permute_vector(&v, &perm).unwrap();
+        let mut xm = xr.clone();
+        let fp = xm.fibers(mode).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(which), |b| {
+            b.iter(|| ttv::ttv_prepared(&xm, &fp, &vr, Schedule::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ablation_reorder;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(ablation_reorder);

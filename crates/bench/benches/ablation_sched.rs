@@ -1,0 +1,42 @@
+//! Ablation A3: loop scheduling. The paper uses "OpenMP ... with different
+//! scheduling strategies" per kernel; Ttv/Ttm fibers have skewed lengths on
+//! power-law tensors, which is where dynamic scheduling earns its keep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tenbench_bench::data::dataset_tensor;
+use tenbench_core::dense::DenseVector;
+use tenbench_core::kernels::ttv;
+use tenbench_core::par::Schedule;
+use tenbench_gen::registry::find;
+
+fn benches(c: &mut Criterion) {
+    let x = dataset_tensor(find("s4").unwrap(), 0.25);
+    // Mode 0 fibers of a power-law tensor are heavily skewed.
+    let mode = 0;
+    let mut xm = x.clone();
+    let fp = xm.fibers(mode).unwrap();
+    let v = DenseVector::constant(x.shape().dim(mode) as usize, 1.0f32);
+    let m = x.nnz() as u64;
+
+    let mut group = c.benchmark_group("ablation/sched/ttv");
+    group.throughput(Throughput::Elements(2 * m));
+    let schedules: Vec<(&str, Schedule)> = vec![
+        ("static", Schedule::Static),
+        ("dynamic_g1", Schedule::Dynamic { grain: 1 }),
+        ("dynamic_g64", Schedule::Dynamic { grain: 64 }),
+        ("dynamic_g1024", Schedule::Dynamic { grain: 1024 }),
+    ];
+    for (name, sched) in schedules {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| ttv::ttv_prepared(&xm, &fp, &v, sched).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ablation_sched;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(ablation_sched);

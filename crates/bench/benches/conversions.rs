@@ -1,0 +1,52 @@
+//! Format construction costs: lexicographic sort, Morton sort, COO→HiCOO,
+//! COO→gHiCOO, COO→CSF — the pre-processing the paper trades for kernel
+//! time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tenbench_bench::data::dataset_tensor;
+use tenbench_core::csf::CsfTensor;
+use tenbench_core::hicoo::{GHicooTensor, HicooTensor};
+use tenbench_gen::registry::find;
+
+fn benches(c: &mut Criterion) {
+    let x = dataset_tensor(find("s4").unwrap(), 0.25);
+    let m = x.nnz() as u64;
+    let mut group = c.benchmark_group("conversions/s4");
+    group.throughput(Throughput::Elements(m));
+    group.bench_function(BenchmarkId::new("sort", "lexicographic"), |b| {
+        b.iter(|| {
+            let mut t = x.clone();
+            t.sort_lexicographic(&[2, 0, 1]);
+            t
+        })
+    });
+    group.bench_function(BenchmarkId::new("sort", "morton"), |b| {
+        b.iter(|| {
+            let mut t = x.clone();
+            t.sort_morton(7);
+            t
+        })
+    });
+    group.bench_function(BenchmarkId::new("convert", "hicoo"), |b| {
+        b.iter(|| HicooTensor::from_coo(&x, 7).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("convert", "ghicoo"), |b| {
+        b.iter(|| GHicooTensor::from_coo_for_mode(&x, 7, 2).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("convert", "csf"), |b| {
+        b.iter(|| CsfTensor::from_coo(&x, None).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("fibers", "mode2"), |b| {
+        let mut t = x.clone();
+        t.sort_mode_last(2);
+        b.iter(|| t.fibers_sorted(2).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = conversions;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(conversions);

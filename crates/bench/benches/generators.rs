@@ -1,0 +1,34 @@
+//! Synthetic tensor generation throughput (Tables 2–3 materialization):
+//! stochastic Kronecker vs biased power law.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tenbench_core::shape::Shape;
+use tenbench_gen::{KroneckerGenerator, PowerLawGenerator};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    for nnz in [10_000usize, 50_000] {
+        group.throughput(Throughput::Elements(nnz as u64));
+        group.bench_function(BenchmarkId::new("kronecker", nnz), |b| {
+            let g = KroneckerGenerator::rmat_like(Shape::cubical(3, 1 << 17), nnz);
+            b.iter(|| g.generate(42))
+        });
+        group.bench_function(BenchmarkId::new("powerlaw", nnz), |b| {
+            let g = PowerLawGenerator::with_threshold(
+                Shape::new(vec![1 << 17, 1 << 17, 126]),
+                1.4,
+                nnz,
+                1000,
+            );
+            b.iter(|| g.generate(42))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = generators;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(generators);

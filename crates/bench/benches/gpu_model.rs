@@ -1,0 +1,47 @@
+//! Simulator throughput behind Figures 6–7: how long the trace-driven GPU
+//! model itself takes per kernel launch (the modeled kernel times are
+//! reported by the harness, not by this bench).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tenbench_bench::data::dataset_tensor;
+use tenbench_bench::suite::{make_factors, make_partner};
+use tenbench_core::dense::{DenseMatrix, DenseVector};
+use tenbench_core::hicoo::HicooTensor;
+use tenbench_core::kernels::EwOp;
+use tenbench_gen::registry::find;
+use tenbench_gpusim::device::DeviceSpec;
+use tenbench_gpusim::kernels as gpuk;
+
+fn benches(c: &mut Criterion) {
+    let x = dataset_tensor(find("s4").unwrap(), 0.1);
+    let y = make_partner(&x);
+    let hx = HicooTensor::from_coo(&x, 7).unwrap();
+    let factors = make_factors(&x, 16);
+    let frefs: Vec<&DenseMatrix<f32>> = factors.iter().collect();
+    let v = DenseVector::constant(x.shape().dim(2) as usize, 1.0f32);
+    let dev = DeviceSpec::p100();
+    let m = x.nnz() as u64;
+
+    let mut group = c.benchmark_group("gpusim/s4");
+    group.throughput(Throughput::Elements(m));
+    group.bench_function(BenchmarkId::new("sim", "tew_coo"), |b| {
+        b.iter(|| gpuk::tew_coo_gpu(&dev, &x, &y, EwOp::Add).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("sim", "ttv_coo"), |b| {
+        b.iter(|| gpuk::ttv_coo_gpu(&dev, &x, &v, 2).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("sim", "mttkrp_coo"), |b| {
+        b.iter(|| gpuk::mttkrp_coo_gpu(&dev, &x, &frefs, 0).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("sim", "mttkrp_hicoo"), |b| {
+        b.iter(|| gpuk::mttkrp_hicoo_gpu(&dev, &hx, &frefs, 0).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = gpu_model;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(gpu_model);

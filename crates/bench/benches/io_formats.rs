@@ -1,0 +1,49 @@
+//! Tensor I/O throughput: FROSTT `.tns` text vs the binary format, read
+//! and write (the dataset-materialization cost the harness cache hides).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tenbench_bench::data::dataset_tensor;
+use tenbench_core::coo::CooTensor;
+use tenbench_gen::registry::find;
+use tenbench_io::{bin, tns};
+
+fn benches(c: &mut Criterion) {
+    let x = dataset_tensor(find("s4").unwrap(), 0.25);
+    let mut text = Vec::new();
+    tns::write_tns(&x, &mut text).unwrap();
+    let mut blob = Vec::new();
+    bin::write_bin(&x, &mut blob).unwrap();
+
+    let mut group = c.benchmark_group("io/s4");
+    group.throughput(Throughput::Elements(x.nnz() as u64));
+    group.bench_function(BenchmarkId::new("write", "tns"), |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(text.len());
+            tns::write_tns(&x, &mut out).unwrap();
+            out
+        })
+    });
+    group.bench_function(BenchmarkId::new("write", "bin"), |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(blob.len());
+            bin::write_bin(&x, &mut out).unwrap();
+            out
+        })
+    });
+    group.bench_function(BenchmarkId::new("read", "tns"), |b| {
+        b.iter(|| -> CooTensor<f32> {
+            tns::read_tns_with_shape(text.as_slice(), x.shape().clone()).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("read", "bin"), |b| {
+        b.iter(|| -> CooTensor<f32> { bin::read_bin(blob.as_slice()).unwrap() })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = io_formats;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(io_formats);

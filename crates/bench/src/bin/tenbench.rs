@@ -1,0 +1,100 @@
+//! The `tenbench` command-line tool.
+//!
+//! ```text
+//! tenbench convert  <in.{tns,tnb}> <out.{tns,tnb}>
+//! tenbench stats    <file> [--block-bits B]
+//! tenbench generate <kron|pl> --dims 1024,1024,64 --nnz 100000 [--seed S] --out <file>
+//! tenbench kernel   <tew|ts|ttv|ttm|mttkrp> <file> [--mode N] [--rank R]
+//!                   [--format coo|hicoo] [--block-bits B] [--reps K]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tenbench_bench::cli;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tenbench: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<String, Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut pos: Vec<String> = Vec::new();
+    let mut opts: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let val = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            opts.insert(key.to_string(), val.clone());
+            i += 2;
+        } else {
+            pos.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let get_usize = |key: &str, default: usize| -> Result<usize, String> {
+        opts.get(key)
+            .map(|v| v.parse().map_err(|_| format!("bad --{key}")))
+            .unwrap_or(Ok(default))
+    };
+    let block_bits = get_usize("block-bits", 7)? as u8;
+
+    match pos.first().map(String::as_str) {
+        Some("convert") => {
+            let [_, input, output] = &pos[..] else {
+                return Err("usage: tenbench convert <in> <out>".into());
+            };
+            Ok(cli::convert(&PathBuf::from(input), &PathBuf::from(output))?)
+        }
+        Some("stats") => {
+            let [_, input] = &pos[..] else {
+                return Err("usage: tenbench stats <file>".into());
+            };
+            Ok(cli::stats(&PathBuf::from(input), block_bits)?)
+        }
+        Some("generate") => {
+            let [_, family] = &pos[..] else {
+                return Err("usage: tenbench generate <kron|pl> --dims ... --nnz ... --out ...".into());
+            };
+            let dims: Vec<u32> = opts
+                .get("dims")
+                .ok_or("--dims is required")?
+                .split(',')
+                .map(|d| d.parse().map_err(|_| "bad --dims"))
+                .collect::<Result<_, _>>()?;
+            let nnz = get_usize("nnz", 0)?;
+            if nnz == 0 {
+                return Err("--nnz is required".into());
+            }
+            let seed = get_usize("seed", 42)? as u64;
+            let out = opts.get("out").ok_or("--out is required")?;
+            Ok(cli::generate(family, &dims, nnz, seed, &PathBuf::from(out))?)
+        }
+        Some("kernel") => {
+            let [_, kernel, input] = &pos[..] else {
+                return Err("usage: tenbench kernel <name> <file> [options]".into());
+            };
+            Ok(cli::run_kernel(
+                kernel,
+                &PathBuf::from(input),
+                get_usize("mode", 0)?,
+                get_usize("rank", 16)?,
+                opts.get("format").map(String::as_str).unwrap_or("coo"),
+                block_bits,
+                get_usize("reps", 5)?,
+            )?)
+        }
+        _ => Err("usage: tenbench <convert|stats|generate|kernel> ... (see --help in the module docs)".into()),
+    }
+}

@@ -1,0 +1,415 @@
+//! The `tenbench` command-line tool: format conversion, tensor statistics,
+//! synthetic generation, and single-kernel runs on user tensors — "the
+//! benchmark suite can be run against any set of tensors provided that
+//! they are expressed using coordinate format" (paper §4).
+//!
+//! The logic lives here (returning the report as a `String`) so it is unit
+//! testable; `src/bin/tenbench.rs` is a thin wrapper.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use tenbench_core::coo::CooTensor;
+use tenbench_core::dense::{DenseMatrix, DenseVector};
+use tenbench_core::hicoo::HicooTensor;
+use tenbench_core::kernels::{mttkrp, tew, ts, ttm, ttv, EwOp, Kernel};
+use tenbench_core::shape::Shape;
+use tenbench_gen::{KroneckerGenerator, PowerLawGenerator, TensorStats};
+
+use crate::format::{fint, fnum, TextTable};
+use crate::suite::{make_factors, make_partner, time_avg};
+
+/// CLI errors: anything the underlying crates report, plus usage problems.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments or unsupported file extension.
+    Usage(String),
+    /// I/O or parse failure.
+    Io(tenbench_io::IoError),
+    /// Kernel or format failure.
+    Tensor(tenbench_core::TensorError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Tensor(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<tenbench_io::IoError> for CliError {
+    fn from(e: tenbench_io::IoError) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<tenbench_core::TensorError> for CliError {
+    fn from(e: tenbench_core::TensorError) -> Self {
+        CliError::Tensor(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(tenbench_io::IoError::Io(e))
+    }
+}
+
+/// Result alias for CLI operations.
+pub type CliResult<T> = Result<T, CliError>;
+
+/// Load a tensor by file extension: `.tns` (FROSTT text) or `.tnb`
+/// (tenbench binary).
+pub fn load_tensor(path: &Path) -> CliResult<CooTensor<f32>> {
+    let file = File::open(path)?;
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("tns") => Ok(tenbench_io::tns::read_tns(BufReader::new(file))?),
+        Some("tnb") => Ok(tenbench_io::bin::read_bin(BufReader::new(file))?),
+        other => Err(CliError::Usage(format!(
+            "unsupported input extension {other:?} (expected .tns or .tnb)"
+        ))),
+    }
+}
+
+/// Save a tensor by file extension.
+pub fn save_tensor(t: &CooTensor<f32>, path: &Path) -> CliResult<()> {
+    let file = File::create(path)?;
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("tns") => Ok(tenbench_io::tns::write_tns(t, BufWriter::new(file))?),
+        Some("tnb") => Ok(tenbench_io::bin::write_bin(t, BufWriter::new(file))?),
+        other => Err(CliError::Usage(format!(
+            "unsupported output extension {other:?} (expected .tns or .tnb)"
+        ))),
+    }
+}
+
+/// `convert <in> <out>`: read one format, write the other.
+pub fn convert(input: &Path, output: &Path) -> CliResult<String> {
+    let t = load_tensor(input)?;
+    save_tensor(&t, output)?;
+    Ok(format!(
+        "converted {} -> {}: {} tensor, {} nonzeros",
+        input.display(),
+        output.display(),
+        t.shape(),
+        fint(t.nnz() as u64)
+    ))
+}
+
+/// `stats <file> [block_bits]`: structural statistics report.
+pub fn stats(input: &Path, block_bits: u8) -> CliResult<String> {
+    let t = load_tensor(input)?;
+    Ok(stats_report(&t, block_bits))
+}
+
+/// Render the statistics report for an in-memory tensor.
+pub fn stats_report(t: &CooTensor<f32>, block_bits: u8) -> String {
+    let s = TensorStats::compute(t, block_bits);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "shape {}  order {}  nnz {}  density {:.3e}\n",
+        t.shape(),
+        s.order,
+        fint(s.nnz as u64),
+        s.density
+    ));
+    let mut tab = TextTable::new(["Mode", "Dim", "Fibers (MF)", "Max fiber"]);
+    for m in 0..s.order {
+        tab.row([
+            m.to_string(),
+            fint(s.dims[m] as u64),
+            fint(s.fibers_per_mode[m] as u64),
+            fint(s.max_fiber_len_per_mode[m] as u64),
+        ]);
+    }
+    out.push_str(&tab.render());
+    out.push_str(&format!(
+        "HiCOO (B = {}): {} blocks, mean {} nnz/block, max {}\n",
+        s.block_size,
+        fint(s.hicoo_blocks as u64),
+        fnum(s.mean_nnz_per_block),
+        fint(s.max_nnz_per_block as u64)
+    ));
+    out.push_str(&format!(
+        "storage: COO {} bytes, HiCOO {} bytes ({:.2}x)\n",
+        fint(s.coo_bytes),
+        fint(s.hicoo_bytes),
+        s.compression_ratio()
+    ));
+    out
+}
+
+/// `generate <kron|pl> dims nnz seed out`: synthesize a tensor to a file.
+pub fn generate(
+    family: &str,
+    dims: &[u32],
+    nnz: usize,
+    seed: u64,
+    output: &Path,
+) -> CliResult<String> {
+    let shape = Shape::new(dims.to_vec());
+    let t = match family {
+        "kron" => KroneckerGenerator::rmat_like(shape, nnz).generate(seed),
+        "pl" => PowerLawGenerator::with_threshold(shape, 1.4, nnz, 1000).generate(seed),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown generator {other:?} (expected kron or pl)"
+            )))
+        }
+    };
+    save_tensor(&t, output)?;
+    Ok(format!(
+        "generated {} ({}): {} nonzeros -> {}",
+        family,
+        t.shape(),
+        fint(t.nnz() as u64),
+        output.display()
+    ))
+}
+
+/// `kernel <name> <file> ...`: run one kernel and report GFLOPS.
+pub fn run_kernel(
+    kernel: &str,
+    input: &Path,
+    mode: usize,
+    rank: usize,
+    format: &str,
+    block_bits: u8,
+    reps: usize,
+) -> CliResult<String> {
+    let x = load_tensor(input)?;
+    run_kernel_on(&x, kernel, mode, rank, format, block_bits, reps)
+}
+
+/// Run one kernel on an in-memory tensor and report time/GFLOPS.
+pub fn run_kernel_on(
+    x: &CooTensor<f32>,
+    kernel: &str,
+    mode: usize,
+    rank: usize,
+    format: &str,
+    block_bits: u8,
+    reps: usize,
+) -> CliResult<String> {
+    x.shape().check_mode(mode)?;
+    let hicoo = match format {
+        "coo" => false,
+        "hicoo" => true,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown format {other:?} (expected coo or hicoo)"
+            )))
+        }
+    };
+    let m = x.nnz() as u64;
+    let order = x.order();
+    let (kname, flops, secs) = match kernel {
+        "tew" => {
+            let y = make_partner(x);
+            let t = if hicoo {
+                let hx = HicooTensor::from_coo(x, block_bits)?;
+                let hy = HicooTensor::from_coo(&y, block_bits)?;
+                time_avg(reps, || {
+                    std::hint::black_box(
+                        tew::tew_hicoo_same_pattern(&hx, &hy, EwOp::Add).unwrap(),
+                    );
+                })
+            } else {
+                time_avg(reps, || {
+                    std::hint::black_box(tew::tew_same_pattern(x, &y, EwOp::Add).unwrap());
+                })
+            };
+            (Kernel::Tew, Kernel::Tew.flops(order, m, 0), t)
+        }
+        "ts" => {
+            let t = if hicoo {
+                let hx = HicooTensor::from_coo(x, block_bits)?;
+                time_avg(reps, || {
+                    std::hint::black_box(ts::ts_hicoo(&hx, 1.01, EwOp::Mul).unwrap());
+                })
+            } else {
+                time_avg(reps, || {
+                    std::hint::black_box(ts::ts(x, 1.01, EwOp::Mul).unwrap());
+                })
+            };
+            (Kernel::Ts, Kernel::Ts.flops(order, m, 0), t)
+        }
+        "ttv" => {
+            let v = DenseVector::constant(x.shape().dim(mode) as usize, 1.0f32);
+            let t = if hicoo {
+                let g = tenbench_core::hicoo::GHicooTensor::from_coo_for_mode(
+                    x, block_bits, mode,
+                )?;
+                let fp = g.fibers(mode)?;
+                time_avg(reps, || {
+                    std::hint::black_box(
+                        ttv::ttv_ghicoo(&g, &fp, &v, Default::default()).unwrap(),
+                    );
+                })
+            } else {
+                let mut xm = x.clone();
+                let fp = xm.fibers(mode)?;
+                time_avg(reps, || {
+                    std::hint::black_box(
+                        ttv::ttv_prepared(&xm, &fp, &v, Default::default()).unwrap(),
+                    );
+                })
+            };
+            (Kernel::Ttv, Kernel::Ttv.flops(order, m, 0), t)
+        }
+        "ttm" => {
+            let u = DenseMatrix::constant(x.shape().dim(mode) as usize, rank, 0.5f32);
+            let t = if hicoo {
+                let g = tenbench_core::hicoo::GHicooTensor::from_coo_for_mode(
+                    x, block_bits, mode,
+                )?;
+                let fp = g.fibers(mode)?;
+                time_avg(reps, || {
+                    std::hint::black_box(
+                        ttm::ttm_ghicoo(&g, &fp, &u, Default::default()).unwrap(),
+                    );
+                })
+            } else {
+                let mut xm = x.clone();
+                let fp = xm.fibers(mode)?;
+                time_avg(reps, || {
+                    std::hint::black_box(
+                        ttm::ttm_prepared(&xm, &fp, &u, Default::default()).unwrap(),
+                    );
+                })
+            };
+            (Kernel::Ttm, Kernel::Ttm.flops(order, m, rank as u64), t)
+        }
+        "mttkrp" => {
+            let factors = make_factors(x, rank);
+            let frefs: Vec<&DenseMatrix<f32>> = factors.iter().collect();
+            let t = if hicoo {
+                let hx = HicooTensor::from_coo(x, block_bits)?;
+                time_avg(reps, || {
+                    std::hint::black_box(mttkrp::mttkrp_hicoo(&hx, &frefs, mode).unwrap());
+                })
+            } else {
+                time_avg(reps, || {
+                    std::hint::black_box(mttkrp::mttkrp_atomic(x, &frefs, mode).unwrap());
+                })
+            };
+            (
+                Kernel::Mttkrp,
+                Kernel::Mttkrp.flops(order, m, rank as u64),
+                t,
+            )
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown kernel {other:?} (expected tew, ts, ttv, ttm, or mttkrp)"
+            )))
+        }
+    };
+    Ok(format!(
+        "{} [{}] on {} ({} nnz): {} s avg over {} reps = {} GFLOPS",
+        kname.name(),
+        format,
+        x.shape(),
+        fint(m),
+        fnum(secs),
+        reps,
+        fnum(flops as f64 / secs / 1e9)
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CooTensor<f32> {
+        CooTensor::from_entries(
+            Shape::new(vec![16, 16, 16]),
+            (0..200u32)
+                .map(|i| (vec![i % 16, (i / 16) % 16, (i * 7) % 16], i as f32 + 1.0))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stats_report_mentions_key_numbers() {
+        let r = stats_report(&tiny(), 3);
+        assert!(r.contains("16x16x16"));
+        assert!(r.contains("HiCOO (B = 8)"));
+        assert!(r.contains("storage"));
+    }
+
+    #[test]
+    fn run_kernel_on_every_kernel_and_format() {
+        let x = tiny();
+        for k in ["tew", "ts", "ttv", "ttm", "mttkrp"] {
+            for f in ["coo", "hicoo"] {
+                let r = run_kernel_on(&x, k, 0, 4, f, 3, 1).unwrap();
+                assert!(r.contains("GFLOPS"), "{k}/{f}: {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_kernel_rejects_bad_input() {
+        let x = tiny();
+        assert!(matches!(
+            run_kernel_on(&x, "nope", 0, 4, "coo", 3, 1),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_kernel_on(&x, "ttv", 0, 4, "csr", 3, 1),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_kernel_on(&x, "ttv", 9, 4, "coo", 3, 1),
+            Err(CliError::Tensor(_))
+        ));
+    }
+
+    #[test]
+    fn convert_and_stats_round_trip_through_disk() {
+        let dir = std::env::temp_dir().join("tenbench-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tns = dir.join("t.tns");
+        let tnb = dir.join("t.tnb");
+        save_tensor(&tiny(), &tns).unwrap();
+        let msg = convert(&tns, &tnb).unwrap();
+        assert!(msg.contains("converted"));
+        let back = load_tensor(&tnb).unwrap();
+        assert_eq!(back.nnz(), tiny().nnz());
+        let s = stats(&tnb, 4).unwrap();
+        assert!(s.contains("nnz 200"));
+    }
+
+    #[test]
+    fn generate_writes_a_loadable_file() {
+        let dir = std::env::temp_dir().join("tenbench-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("gen.tnb");
+        let msg = generate("pl", &[2048, 2048, 32], 3_000, 7, &out).unwrap();
+        assert!(msg.contains("3,000"));
+        let t = load_tensor(&out).unwrap();
+        assert_eq!(t.nnz(), 3_000);
+        assert!(matches!(
+            generate("weird", &[4, 4], 10, 1, &out),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn unsupported_extensions_are_rejected() {
+        assert!(matches!(
+            load_tensor(Path::new("/nonexistent/file.xyz")),
+            Err(CliError::Io(_)) | Err(CliError::Usage(_))
+        ));
+        let r = save_tensor(&tiny(), Path::new("/tmp/tenbench-cli-test/x.csv"));
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+}

@@ -1,0 +1,23 @@
+//! # tenbench-bench
+//!
+//! The experiment harness: everything needed to regenerate the paper's
+//! tables and figures from this repository (see the `harness` binary), plus
+//! shared plumbing for the Criterion micro-benchmarks.
+//!
+//! * [`format`] — aligned text tables and ASCII log-log plots for terminal
+//!   "figures".
+//! * [`data`] — dataset materialization with an on-disk cache.
+//! * [`suite`] — the measured CPU kernel suite (Figures 4–5) and the
+//!   simulated GPU suite (Figures 6–7), with per-tensor Roofline bounds.
+
+// Index-heavy kernel code deliberately uses explicit loop indices over
+// several parallel arrays; the iterator forms clippy suggests are less
+// readable there.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cli;
+pub mod data;
+pub mod format;
+pub mod suite;

@@ -1,0 +1,444 @@
+//! The measured CPU suite (Figures 4–5) and simulated GPU suite (Figures
+//! 6–7): five kernels x two formats per tensor, with per-tensor Roofline
+//! bounds.
+//!
+//! Measurement methodology follows the paper (§5.1.2): kernels run five
+//! times and report the average; Ttv, Ttm, and Mttkrp are further averaged
+//! over all tensor modes; `R = 16` reflects low-rank tensor methods; the
+//! HiCOO block size is 128 (`block_bits = 7`); pre-processing (sorting,
+//! fiber partitions, format conversion, output allocation plans) is done
+//! once outside the timed region.
+
+use std::time::Instant;
+
+use tenbench_core::coo::CooTensor;
+use tenbench_core::dense::{DenseMatrix, DenseVector};
+use tenbench_core::hicoo::{GHicooTensor, HicooTensor};
+use tenbench_core::kernels::{mttkrp, tew, ts, ttm, ttv, EwOp, Kernel};
+use tenbench_core::par::Schedule;
+use tenbench_gen::TensorStats;
+use tenbench_gpusim::device::DeviceSpec;
+use tenbench_gpusim::kernels as gpuk;
+use tenbench_roofline::bounds;
+
+/// Rank used for Ttm and Mttkrp, as in the paper.
+pub const DEFAULT_RANK: usize = 16;
+/// HiCOO block bits (B = 128), as in the paper.
+pub const DEFAULT_BLOCK_BITS: u8 = 7;
+/// Repetitions per measurement, as in the paper.
+pub const DEFAULT_REPS: usize = 5;
+
+/// The machine a suite run is measured on or modeled for.
+#[derive(Debug, Clone)]
+pub struct MachineModel {
+    /// Display name.
+    pub name: String,
+    /// Obtainable (ERT-DRAM) bandwidth in GB/s, for the Roofline bounds.
+    pub ert_dram_gbs: f64,
+    /// Peak single-precision GFLOPS.
+    pub peak_gflops: f64,
+}
+
+impl MachineModel {
+    /// Model for a simulated GPU.
+    pub fn from_device(dev: &DeviceSpec) -> Self {
+        MachineModel {
+            name: dev.name.to_string(),
+            ert_dram_gbs: dev.dram_bw_gbs,
+            peak_gflops: dev.peak_sp_gflops,
+        }
+    }
+}
+
+/// One kernel x format measurement on one tensor.
+#[derive(Debug, Clone)]
+pub struct KernelResult {
+    /// Which kernel.
+    pub kernel: Kernel,
+    /// "COO" or "HiCOO".
+    pub format: &'static str,
+    /// Average kernel time in seconds (measured or modeled).
+    pub time_s: f64,
+    /// Achieved GFLOPS (Table 1 work over time).
+    pub gflops: f64,
+    /// Exact operational intensity used for the bound.
+    pub oi: f64,
+    /// Roofline performance bound in GFLOPS.
+    pub bound_gflops: f64,
+}
+
+impl KernelResult {
+    /// Performance efficiency vs the Roofline bound (can exceed 1 for
+    /// cache-resident tensors).
+    pub fn efficiency(&self) -> f64 {
+        if self.bound_gflops > 0.0 {
+            self.gflops / self.bound_gflops
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Average wall time of `f` over `reps` runs, with inner batching for
+/// sub-millisecond kernels so timer resolution does not dominate.
+pub fn time_avg<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    // Calibrate: one untimed warmup that also sizes the inner batch.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64();
+    let batch = if once < 1e-3 {
+        ((1e-3 / once.max(1e-9)).ceil() as usize).clamp(1, 10_000)
+    } else {
+        1
+    };
+    let mut total = 0.0;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        total += t.elapsed().as_secs_f64() / batch as f64;
+    }
+    total / reps.max(1) as f64
+}
+
+/// Build the per-mode factor matrices used by Ttm and Mttkrp.
+pub fn make_factors(x: &CooTensor<f32>, r: usize) -> Vec<DenseMatrix<f32>> {
+    (0..x.order())
+        .map(|m| {
+            DenseMatrix::from_fn(x.shape().dim(m) as usize, r, |i, j| {
+                (((i * 31 + j * 17 + m * 7) % 1000) as f32) * 1e-3
+            })
+        })
+        .collect()
+}
+
+/// A same-pattern element-wise partner for `x` (values doubled).
+pub fn make_partner(x: &CooTensor<f32>) -> CooTensor<f32> {
+    let mut y = x.clone();
+    y.vals_mut().iter_mut().for_each(|v| *v = *v * 2.0 + 0.5);
+    y
+}
+
+/// Run the full measured CPU suite on one tensor.
+pub fn run_cpu_suite(
+    x: &CooTensor<f32>,
+    machine: &MachineModel,
+    r: usize,
+    block_bits: u8,
+    reps: usize,
+) -> Vec<KernelResult> {
+    let stats = TensorStats::compute(x, block_bits);
+    let order = x.order();
+    let m = x.nnz() as u64;
+    let bw = machine.ert_dram_gbs;
+    let peak = machine.peak_gflops;
+
+    let y = make_partner(x);
+    let hx = HicooTensor::from_coo(x, block_bits).expect("valid block bits");
+    let hy = HicooTensor::from_coo(&y, block_bits).expect("valid block bits");
+    let factors = make_factors(x, r);
+    let frefs: Vec<&DenseMatrix<f32>> = factors.iter().collect();
+
+    let mut out = Vec::new();
+    let push = |out: &mut Vec<KernelResult>,
+                kernel: Kernel,
+                format: &'static str,
+                time_s: f64,
+                flops: u64,
+                bound: bounds::KernelBound| {
+        out.push(KernelResult {
+            kernel,
+            format,
+            time_s,
+            gflops: flops as f64 / time_s / 1e9,
+            oi: bound.oi,
+            bound_gflops: bound.gflops,
+        });
+    };
+
+    // Tew / Ts: nonzero-parallel value loops.
+    let t = time_avg(reps, || {
+        std::hint::black_box(tew::tew_same_pattern(x, &y, EwOp::Add).unwrap());
+    });
+    push(&mut out, Kernel::Tew, "COO", t, Kernel::Tew.flops(order, m, 0), bounds::tew_bound(m, bw, peak));
+    let t = time_avg(reps, || {
+        std::hint::black_box(tew::tew_hicoo_same_pattern(&hx, &hy, EwOp::Add).unwrap());
+    });
+    push(&mut out, Kernel::Tew, "HiCOO", t, Kernel::Tew.flops(order, m, 0), bounds::tew_bound(m, bw, peak));
+
+    let t = time_avg(reps, || {
+        std::hint::black_box(ts::ts(x, 1.000_1, EwOp::Mul).unwrap());
+    });
+    push(&mut out, Kernel::Ts, "COO", t, Kernel::Ts.flops(order, m, 0), bounds::ts_bound(m, bw, peak));
+    let t = time_avg(reps, || {
+        std::hint::black_box(ts::ts_hicoo(&hx, 1.000_1, EwOp::Mul).unwrap());
+    });
+    push(&mut out, Kernel::Ts, "HiCOO", t, Kernel::Ts.flops(order, m, 0), bounds::ts_bound(m, bw, peak));
+
+    // Ttv / Ttm / Mttkrp: averaged over modes; pre-processing untimed.
+    let mean_mf = stats.mean_fibers() as u64;
+    let mut ttv_coo = 0.0;
+    let mut ttv_hic = 0.0;
+    let mut ttm_coo = 0.0;
+    let mut ttm_hic = 0.0;
+    let mut mtt_coo = 0.0;
+    let mut mtt_hic = 0.0;
+    for mode in 0..order {
+        let mut xm = x.clone();
+        let fp = xm.fibers(mode).expect("mode in range");
+        let g = GHicooTensor::from_coo_for_mode(x, block_bits, mode).expect("valid plan");
+        let gfp = g.fibers(mode).expect("ttv layout");
+        let v = DenseVector::from_fn(x.shape().dim(mode) as usize, |i| (i % 100) as f32 * 0.01);
+        let u = &factors[mode];
+
+        ttv_coo += time_avg(reps, || {
+            std::hint::black_box(ttv::ttv_prepared(&xm, &fp, &v, Schedule::default()).unwrap());
+        });
+        ttv_hic += time_avg(reps, || {
+            std::hint::black_box(ttv::ttv_ghicoo(&g, &gfp, &v, Schedule::default()).unwrap());
+        });
+        ttm_coo += time_avg(reps, || {
+            std::hint::black_box(ttm::ttm_prepared(&xm, &fp, u, Schedule::default()).unwrap());
+        });
+        ttm_hic += time_avg(reps, || {
+            std::hint::black_box(ttm::ttm_ghicoo(&g, &gfp, u, Schedule::default()).unwrap());
+        });
+        mtt_coo += time_avg(reps, || {
+            std::hint::black_box(mttkrp::mttkrp_atomic(x, &frefs, mode).unwrap());
+        });
+        mtt_hic += time_avg(reps, || {
+            std::hint::black_box(mttkrp::mttkrp_hicoo(&hx, &frefs, mode).unwrap());
+        });
+    }
+    let n = order as f64;
+    push(
+        &mut out,
+        Kernel::Ttv,
+        "COO",
+        ttv_coo / n,
+        Kernel::Ttv.flops(order, m, 0),
+        bounds::ttv_bound(order, m, mean_mf, bw, peak),
+    );
+    push(
+        &mut out,
+        Kernel::Ttv,
+        "HiCOO",
+        ttv_hic / n,
+        Kernel::Ttv.flops(order, m, 0),
+        bounds::ttv_bound(order, m, mean_mf, bw, peak),
+    );
+    push(
+        &mut out,
+        Kernel::Ttm,
+        "COO",
+        ttm_coo / n,
+        Kernel::Ttm.flops(order, m, r as u64),
+        bounds::ttm_bound(order, m, mean_mf, r as u64, bw, peak),
+    );
+    push(
+        &mut out,
+        Kernel::Ttm,
+        "HiCOO",
+        ttm_hic / n,
+        Kernel::Ttm.flops(order, m, r as u64),
+        bounds::ttm_bound(order, m, mean_mf, r as u64, bw, peak),
+    );
+    push(
+        &mut out,
+        Kernel::Mttkrp,
+        "COO",
+        mtt_coo / n,
+        Kernel::Mttkrp.flops(order, m, r as u64),
+        bounds::mttkrp_coo_bound(order, m, r as u64, bw, peak),
+    );
+    push(
+        &mut out,
+        Kernel::Mttkrp,
+        "HiCOO",
+        mtt_hic / n,
+        Kernel::Mttkrp.flops(order, m, r as u64),
+        bounds::mttkrp_hicoo_bound(
+            order,
+            m,
+            r as u64,
+            stats.hicoo_blocks as u64,
+            stats.block_size as u64,
+            bw,
+            peak,
+        ),
+    );
+    out
+}
+
+/// Run the full simulated GPU suite on one tensor.
+pub fn run_gpu_suite(
+    x: &CooTensor<f32>,
+    dev: &DeviceSpec,
+    r: usize,
+    block_bits: u8,
+) -> Vec<KernelResult> {
+    let stats = TensorStats::compute(x, block_bits);
+    let machine = MachineModel::from_device(dev);
+    let order = x.order();
+    let m = x.nnz() as u64;
+    let bw = machine.ert_dram_gbs;
+    let peak = machine.peak_gflops;
+
+    let y = make_partner(x);
+    let hx = HicooTensor::from_coo(x, block_bits).expect("valid block bits");
+    let hy = HicooTensor::from_coo(&y, block_bits).expect("valid block bits");
+    let factors = make_factors(x, r);
+    let frefs: Vec<&DenseMatrix<f32>> = factors.iter().collect();
+
+    let mut out = Vec::new();
+    let mut push = |kernel: Kernel, format: &'static str, time_s: f64, flops: u64, bound: bounds::KernelBound| {
+        out.push(KernelResult {
+            kernel,
+            format,
+            time_s,
+            gflops: flops as f64 / time_s / 1e9,
+            oi: bound.oi,
+            bound_gflops: bound.gflops,
+        });
+    };
+
+    let (_, s) = gpuk::tew_coo_gpu(dev, x, &y, EwOp::Add).unwrap();
+    push(Kernel::Tew, "COO", s.time_s, s.flops, bounds::tew_bound(m, bw, peak));
+    let (_, s) = gpuk::tew_hicoo_gpu(dev, &hx, &hy, EwOp::Add).unwrap();
+    push(Kernel::Tew, "HiCOO", s.time_s, s.flops, bounds::tew_bound(m, bw, peak));
+
+    let (_, s) = gpuk::ts_coo_gpu(dev, x, 1.000_1, EwOp::Mul).unwrap();
+    push(Kernel::Ts, "COO", s.time_s, s.flops, bounds::ts_bound(m, bw, peak));
+    let (_, s) = gpuk::ts_hicoo_gpu(dev, &hx, 1.000_1, EwOp::Mul).unwrap();
+    push(Kernel::Ts, "HiCOO", s.time_s, s.flops, bounds::ts_bound(m, bw, peak));
+
+    let mean_mf = stats.mean_fibers() as u64;
+    let mut ttv_t = [0.0f64; 2];
+    let mut ttm_t = [0.0f64; 2];
+    let mut mtt_t = [0.0f64; 2];
+    for mode in 0..order {
+        let v = DenseVector::from_fn(x.shape().dim(mode) as usize, |i| (i % 100) as f32 * 0.01);
+        let u = &factors[mode];
+        let (_, s) = gpuk::ttv_coo_gpu(dev, x, &v, mode).unwrap();
+        ttv_t[0] += s.time_s;
+        let (_, s) = gpuk::ttv_hicoo_gpu(dev, &hx, &v, mode).unwrap();
+        ttv_t[1] += s.time_s;
+        let (_, s) = gpuk::ttm_coo_gpu(dev, x, u, mode).unwrap();
+        ttm_t[0] += s.time_s;
+        let (_, s) = gpuk::ttm_hicoo_gpu(dev, &hx, u, mode).unwrap();
+        ttm_t[1] += s.time_s;
+        let (_, s) = gpuk::mttkrp_coo_gpu(dev, x, &frefs, mode).unwrap();
+        mtt_t[0] += s.time_s;
+        let (_, s) = gpuk::mttkrp_hicoo_gpu(dev, &hx, &frefs, mode).unwrap();
+        mtt_t[1] += s.time_s;
+    }
+    let n = order as f64;
+    push(
+        Kernel::Ttv,
+        "COO",
+        ttv_t[0] / n,
+        Kernel::Ttv.flops(order, m, 0),
+        bounds::ttv_bound(order, m, mean_mf, bw, peak),
+    );
+    push(
+        Kernel::Ttv,
+        "HiCOO",
+        ttv_t[1] / n,
+        Kernel::Ttv.flops(order, m, 0),
+        bounds::ttv_bound(order, m, mean_mf, bw, peak),
+    );
+    push(
+        Kernel::Ttm,
+        "COO",
+        ttm_t[0] / n,
+        Kernel::Ttm.flops(order, m, r as u64),
+        bounds::ttm_bound(order, m, mean_mf, r as u64, bw, peak),
+    );
+    push(
+        Kernel::Ttm,
+        "HiCOO",
+        ttm_t[1] / n,
+        Kernel::Ttm.flops(order, m, r as u64),
+        bounds::ttm_bound(order, m, mean_mf, r as u64, bw, peak),
+    );
+    push(
+        Kernel::Mttkrp,
+        "COO",
+        mtt_t[0] / n,
+        Kernel::Mttkrp.flops(order, m, r as u64),
+        bounds::mttkrp_coo_bound(order, m, r as u64, bw, peak),
+    );
+    push(
+        Kernel::Mttkrp,
+        "HiCOO",
+        mtt_t[1] / n,
+        Kernel::Mttkrp.flops(order, m, r as u64),
+        bounds::mttkrp_hicoo_bound(
+            order,
+            m,
+            r as u64,
+            stats.hicoo_blocks as u64,
+            stats.block_size as u64,
+            bw,
+            peak,
+        ),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use tenbench_gen::registry::find;
+
+    use super::*;
+
+    fn small_tensor() -> CooTensor<f32> {
+        find("s4").unwrap().generate_with(4000, 7)
+    }
+
+    fn host() -> MachineModel {
+        MachineModel {
+            name: "test-host".into(),
+            ert_dram_gbs: 20.0,
+            peak_gflops: 200.0,
+        }
+    }
+
+    #[test]
+    fn cpu_suite_covers_all_kernels_and_formats() {
+        let x = small_tensor();
+        let res = run_cpu_suite(&x, &host(), 8, 4, 1);
+        assert_eq!(res.len(), 10);
+        for r in &res {
+            assert!(r.time_s > 0.0, "{:?}", r.kernel);
+            assert!(r.gflops > 0.0);
+            assert!(r.bound_gflops > 0.0);
+            assert!(r.oi > 0.0);
+        }
+        let kernels: Vec<&str> = res.iter().map(|r| r.kernel.name()).collect();
+        assert_eq!(kernels.iter().filter(|&&k| k == "Mttkrp").count(), 2);
+    }
+
+    #[test]
+    fn gpu_suite_covers_all_kernels_and_formats() {
+        let x = small_tensor();
+        let dev = DeviceSpec::p100();
+        let res = run_gpu_suite(&x, &dev, 8, 4);
+        assert_eq!(res.len(), 10);
+        for r in &res {
+            assert!(r.time_s > 0.0);
+            assert!(r.gflops > 0.0);
+        }
+    }
+
+    #[test]
+    fn time_avg_batches_fast_functions() {
+        let mut n = 0u64;
+        let t = time_avg(2, || {
+            n += 1;
+        });
+        assert!(t >= 0.0);
+        assert!(n > 2); // batching kicked in
+    }
+}

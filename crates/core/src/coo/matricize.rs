@@ -1,0 +1,146 @@
+//! Mode-`n` matricization (unfolding) — `X_(n)` in the paper's §2.5
+//! definition of Mttkrp. The suite's kernels deliberately avoid
+//! materializing unfoldings ("our implementations directly operate on
+//! sparse tensor elements to avoid the tensor-matrix transformations"),
+//! but the explicit transform is useful for cross-checking kernels and for
+//! interoperating with sparse-matrix code.
+
+use crate::error::{Result, TensorError};
+use crate::scalar::Scalar;
+use crate::shape::Shape;
+
+use super::{CooTensor, SortState};
+
+/// Unfold a tensor along `mode` into a sparse `I_n x prod(other dims)`
+/// matrix, using Kolda & Bader's column ordering: the remaining modes vary
+/// fastest in ascending mode order.
+///
+/// Fails with [`TensorError::SizeOverflow`] if the flattened column space
+/// exceeds the 32-bit index range (hypersparse tensors unfold into
+/// astronomically wide matrices — exactly why the suite's kernels avoid
+/// this transform).
+pub fn matricize<S: Scalar>(x: &CooTensor<S>, mode: usize) -> Result<CooTensor<S>> {
+    x.shape().check_mode(mode)?;
+    let order = x.order();
+    // Column strides: ascending modes (excluding `mode`), earlier modes
+    // vary fastest.
+    let mut cols: u64 = 1;
+    let mut strides = vec![0u64; order];
+    for m in 0..order {
+        if m == mode {
+            continue;
+        }
+        strides[m] = cols;
+        cols = cols
+            .checked_mul(x.shape().dim(m) as u64)
+            .ok_or(TensorError::SizeOverflow)?;
+    }
+    if cols > u32::MAX as u64 {
+        return Err(TensorError::SizeOverflow);
+    }
+
+    let m = x.nnz();
+    let mut rows = Vec::with_capacity(m);
+    let mut colinds = Vec::with_capacity(m);
+    for i in 0..m {
+        rows.push(x.mode_inds(mode)[i]);
+        let mut c: u64 = 0;
+        for md in 0..order {
+            if md != mode {
+                c += x.mode_inds(md)[i] as u64 * strides[md];
+            }
+        }
+        colinds.push(c as u32);
+    }
+    Ok(CooTensor::from_parts_unchecked(
+        Shape::new(vec![x.shape().dim(mode), cols as u32]),
+        vec![rows, colinds],
+        x.vals().to_vec(),
+        SortState::Unsorted,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooTensor<f64> {
+        CooTensor::from_entries(
+            Shape::new(vec![2, 3, 4]),
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![1, 2, 3], 2.0),
+                (vec![0, 1, 2], 3.0),
+                (vec![1, 0, 1], 4.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mode0_unfolding_matches_kolda_ordering() {
+        // X_(0) is 2 x 12 with column j + 3*k (mode 1 fastest).
+        let m = matricize(&sample(), 0).unwrap();
+        assert_eq!(m.shape().dims(), &[2, 12]);
+        let map = m.to_map();
+        assert_eq!(map[&vec![0, 0]], 1.0); // (0,0,0)
+        assert_eq!(map[&vec![1, 2 + 3 * 3]], 2.0); // (1,2,3) -> col 11
+        assert_eq!(map[&vec![0, 1 + 3 * 2]], 3.0); // (0,1,2) -> col 7
+        assert_eq!(map[&vec![1, 3]], 4.0); // (1,0,1) -> col 3
+    }
+
+    #[test]
+    fn middle_mode_unfolding() {
+        // X_(1) is 3 x 8 with column i + 2*k (mode 0 fastest).
+        let m = matricize(&sample(), 1).unwrap();
+        assert_eq!(m.shape().dims(), &[3, 8]);
+        let map = m.to_map();
+        assert_eq!(map[&vec![2, 1 + 2 * 3]], 2.0); // (1,2,3) -> row 2, col 7
+    }
+
+    #[test]
+    fn unfolding_preserves_values_and_count() {
+        let x = sample();
+        for mode in 0..3 {
+            let m = matricize(&x, mode).unwrap();
+            assert_eq!(m.nnz(), x.nnz());
+            let sum: f64 = m.vals().iter().sum();
+            let expect: f64 = x.vals().iter().sum();
+            assert_eq!(sum, expect);
+            assert!(m.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn hypersparse_unfolding_overflows_cleanly() {
+        // (2^20)^3 columns exceed u32: expect SizeOverflow, not wraparound.
+        let x = CooTensor::<f64>::from_entries(
+            Shape::new(vec![1 << 20, 1 << 20, 1 << 20]),
+            vec![(vec![1, 2, 3], 1.0)],
+        )
+        .unwrap();
+        assert!(matches!(
+            matricize(&x, 0),
+            Err(TensorError::SizeOverflow)
+        ));
+    }
+
+    #[test]
+    fn matricized_spmv_equals_ttv() {
+        // X_(0) * vec(outer of ones) == Ttv with ones in both other modes.
+        let x = sample();
+        let m = matricize(&x, 0).unwrap();
+        // Row sums of X_(0) equal contracting modes 1 and 2 with ones.
+        let mut row_sums = [0.0f64; 2];
+        for (c, v) in m.iter_entries() {
+            row_sums[c[0] as usize] += v;
+        }
+        let ones3 = crate::dense::DenseVector::constant(3, 1.0);
+        let ones4 = crate::dense::DenseVector::constant(4, 1.0);
+        let t = crate::kernels::ttv::ttv(&x, &ones4, 2).unwrap();
+        let t = crate::kernels::ttv::ttv(&t, &ones3, 1).unwrap();
+        for (c, v) in t.iter_entries() {
+            assert!((row_sums[c[0] as usize] - v).abs() < 1e-12);
+        }
+    }
+}

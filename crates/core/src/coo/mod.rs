@@ -1,0 +1,391 @@
+//! Coordinate (COO) format for general sparse tensors, and its semi-sparse
+//! variant sCOO (paper §3.1, Figure 1).
+//!
+//! COO stores one `u32` index array per mode plus one value array
+//! (struct-of-arrays). It does not require any particular ordering, but the
+//! fiber-based kernels (Ttv, Ttm) and the general element-wise merge sort the
+//! tensor lexicographically first; [`CooTensor::sort_state`] tracks this so
+//! repeated kernel calls skip the re-sort, mirroring the paper's
+//! pre-processing stage.
+
+mod build;
+mod fiber;
+mod matricize;
+mod mscoo;
+mod scoo;
+mod sort;
+
+pub use fiber::FiberPartition;
+pub use matricize::matricize;
+pub use mscoo::MultiSemiSparseTensor;
+pub use scoo::SemiSparseTensor;
+pub use sort::SortState;
+
+use std::collections::BTreeMap;
+
+use crate::error::{Result, TensorError};
+use crate::scalar::Scalar;
+use crate::shape::Shape;
+
+/// A general sparse tensor of arbitrary order in coordinate format.
+///
+/// Storage is `4(N+1)M` bytes for an order-`N` tensor with `M` nonzeros and
+/// `f32` values, matching the paper's accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooTensor<S: Scalar> {
+    shape: Shape,
+    /// One index array per mode; all have length `nnz()`.
+    inds: Vec<Vec<u32>>,
+    vals: Vec<S>,
+    sort: SortState,
+}
+
+impl<S: Scalar> CooTensor<S> {
+    /// An empty tensor of the given shape.
+    pub fn empty(shape: Shape) -> Self {
+        let order = shape.order();
+        CooTensor {
+            shape,
+            inds: vec![Vec::new(); order],
+            vals: Vec::new(),
+            sort: SortState::Unsorted,
+        }
+    }
+
+    /// Build from `(coordinate, value)` entries.
+    ///
+    /// Entries are validated against the shape, sorted lexicographically, and
+    /// duplicates are combined by summation (the usual COO assembly rule).
+    /// Entries whose combined value is exactly zero are kept — COO stores
+    /// whatever it was given, and several kernels (e.g. Tew on two patterns)
+    /// rely on structural rather than numerical nonzeros.
+    pub fn from_entries(shape: Shape, entries: Vec<(Vec<u32>, S)>) -> Result<Self> {
+        build::from_entries(shape, entries)
+    }
+
+    /// Build directly from struct-of-arrays parts.
+    ///
+    /// Validates array lengths and index bounds; does *not* sort or dedup.
+    pub fn from_parts(shape: Shape, inds: Vec<Vec<u32>>, vals: Vec<S>) -> Result<Self> {
+        build::from_parts(shape, inds, vals)
+    }
+
+    /// Internal constructor for outputs whose structure is correct by
+    /// construction (kernel outputs); skips validation.
+    pub(crate) fn from_parts_unchecked(
+        shape: Shape,
+        inds: Vec<Vec<u32>>,
+        vals: Vec<S>,
+        sort: SortState,
+    ) -> Self {
+        debug_assert_eq!(inds.len(), shape.order());
+        debug_assert!(inds.iter().all(|a| a.len() == vals.len()));
+        CooTensor { shape, inds, vals, sort }
+    }
+
+    /// The tensor shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of modes.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.shape.order()
+    }
+
+    /// Number of stored nonzeros (`M` in the paper).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Density: `nnz / prod(dims)`.
+    pub fn density(&self) -> f64 {
+        self.shape.density(self.nnz())
+    }
+
+    /// The index array of one mode.
+    #[inline]
+    pub fn mode_inds(&self, mode: usize) -> &[u32] {
+        &self.inds[mode]
+    }
+
+    /// All index arrays.
+    #[inline]
+    pub fn inds(&self) -> &[Vec<u32>] {
+        &self.inds
+    }
+
+    /// The value array.
+    #[inline]
+    pub fn vals(&self) -> &[S] {
+        &self.vals
+    }
+
+    /// The value array, mutably (indices are immutable through this — value
+    /// editing never invalidates the sort state).
+    #[inline]
+    pub fn vals_mut(&mut self) -> &mut [S] {
+        &mut self.vals
+    }
+
+    /// Current sort state.
+    #[inline]
+    pub fn sort_state(&self) -> &SortState {
+        &self.sort
+    }
+
+    /// Write the coordinate of nonzero `at` into `buf` (length = order).
+    #[inline]
+    pub fn coord_into(&self, at: usize, buf: &mut [u32]) {
+        for (m, arr) in self.inds.iter().enumerate() {
+            buf[m] = arr[at];
+        }
+    }
+
+    /// The coordinate of nonzero `at` as a fresh `Vec`.
+    pub fn coord(&self, at: usize) -> Vec<u32> {
+        let mut buf = vec![0u32; self.order()];
+        self.coord_into(at, &mut buf);
+        buf
+    }
+
+    /// Iterate `(coordinate, value)` pairs (allocates one `Vec` per entry —
+    /// convenience for tests and small tensors; kernels use the SoA arrays
+    /// directly).
+    pub fn iter_entries(&self) -> impl Iterator<Item = (Vec<u32>, S)> + '_ {
+        (0..self.nnz()).map(move |i| (self.coord(i), self.vals[i]))
+    }
+
+    /// Sort nonzeros lexicographically in the given mode precedence order
+    /// (`mode_order[0]` is the slowest-varying mode). No-op if the tensor is
+    /// already in that order.
+    pub fn sort_lexicographic(&mut self, mode_order: &[usize]) {
+        sort::sort_lexicographic(self, mode_order);
+    }
+
+    /// Sort so that `mode` is innermost with the remaining modes ascending —
+    /// the order required by the mode-`n` fiber kernels (Ttv/Ttm).
+    pub fn sort_mode_last(&mut self, mode: usize) {
+        let order = crate::shape::mode_last_order(self.order(), mode);
+        self.sort_lexicographic(&order);
+    }
+
+    /// Sort nonzeros by the Morton order of their block coordinates, the
+    /// pre-processing step of HiCOO construction (paper §3.3).
+    pub fn sort_morton(&mut self, block_bits: u8) {
+        sort::sort_morton(self, block_bits);
+    }
+
+    /// Compute the mode-`n` fiber partition (requires, and if necessary
+    /// performs, a mode-last sort). Returns the `fptr` array of Algorithm 1.
+    pub fn fibers(&mut self, mode: usize) -> Result<FiberPartition> {
+        self.shape.check_mode(mode)?;
+        fiber::fibers(self, mode)
+    }
+
+    /// Compute the mode-`n` fiber partition assuming the tensor is already
+    /// mode-last sorted; errors if it is not.
+    pub fn fibers_sorted(&self, mode: usize) -> Result<FiberPartition> {
+        self.shape.check_mode(mode)?;
+        if !self.sort.is_mode_last(self.order(), mode) {
+            return Err(TensorError::InvalidStructure(format!(
+                "tensor is not sorted with mode {mode} innermost"
+            )));
+        }
+        fiber::fibers_from_sorted(self, mode)
+    }
+
+    /// Relabel one mode's indices through a permutation (validated by the
+    /// caller, `crate::reorder`); invalidates the sort state.
+    pub(crate) fn relabel_mode(&mut self, mode: usize, perm: &[u32]) {
+        for i in self.inds[mode].iter_mut() {
+            *i = perm[*i as usize];
+        }
+        self.sort = SortState::Unsorted;
+    }
+
+    /// Storage footprint in bytes: `order` index arrays of `u32` plus values.
+    pub fn storage_bytes(&self) -> u64 {
+        let m = self.nnz() as u64;
+        m * (4 * self.order() as u64 + S::BYTES)
+    }
+
+    /// Frobenius norm (`sqrt` of the sum of squared values) — zeros outside
+    /// the pattern contribute nothing, so this is exact for sparse tensors.
+    pub fn frobenius_norm(&self) -> S {
+        self.vals.iter().map(|&v| v * v).sum::<S>().sqrt()
+    }
+
+    /// Inner product with a same-pattern tensor (`<X, Y> = Σ x_i y_i`),
+    /// the quantity tensor-method fit computations need.
+    pub fn inner_same_pattern(&self, other: &CooTensor<S>) -> Result<S> {
+        if !self.same_pattern(other) {
+            return Err(TensorError::PatternMismatch);
+        }
+        Ok(self
+            .vals
+            .iter()
+            .zip(other.vals())
+            .map(|(&a, &b)| a * b)
+            .sum())
+    }
+
+    /// Collect into a coordinate → value map (sums duplicates). Primarily a
+    /// test helper for comparing tensors across formats and kernels.
+    pub fn to_map(&self) -> BTreeMap<Vec<u32>, f64> {
+        let mut map = BTreeMap::new();
+        for (c, v) in self.iter_entries() {
+            *map.entry(c).or_insert(0.0) += v.to_f64();
+        }
+        map
+    }
+
+    /// `true` if the two tensors have identical shapes, coordinates (in
+    /// storage order), and sort state — i.e. they share a nonzero pattern in
+    /// the strict sense required by the same-pattern Tew fast path.
+    pub fn same_pattern(&self, other: &CooTensor<S>) -> bool {
+        self.shape == other.shape && self.inds == other.inds
+    }
+
+    /// Validate internal structure (array lengths, index bounds). Cheap
+    /// enough for tests; kernels assume validity.
+    pub fn validate(&self) -> Result<()> {
+        if self.inds.len() != self.order() {
+            return Err(TensorError::InvalidStructure(format!(
+                "{} index arrays for order-{} tensor",
+                self.inds.len(),
+                self.order()
+            )));
+        }
+        for (m, arr) in self.inds.iter().enumerate() {
+            if arr.len() != self.vals.len() {
+                return Err(TensorError::InvalidStructure(format!(
+                    "mode-{m} index array length {} != nnz {}",
+                    arr.len(),
+                    self.vals.len()
+                )));
+            }
+            let dim = self.shape.dim(m);
+            if let Some(&bad) = arr.iter().find(|&&i| i >= dim) {
+                return Err(TensorError::IndexOutOfBounds { mode: m, index: bad, dim });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CooTensor<f32> {
+        CooTensor::from_entries(
+            Shape::new(vec![4, 4, 4]),
+            vec![
+                (vec![3, 1, 0], 4.0),
+                (vec![0, 0, 0], 1.0),
+                (vec![1, 2, 3], 2.0),
+                (vec![0, 0, 0], 0.5), // duplicate, combined by summation
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_entries_sorts_and_combines_duplicates() {
+        let t = small();
+        assert_eq!(t.nnz(), 3);
+        assert_eq!(t.coord(0), vec![0, 0, 0]);
+        assert_eq!(t.vals()[0], 1.5);
+        assert!(t.sort_state().is_lexicographic(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn from_entries_rejects_out_of_bounds() {
+        let r = CooTensor::from_entries(Shape::new(vec![2, 2]), vec![(vec![0, 2], 1.0f32)]);
+        assert!(matches!(r, Err(TensorError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn from_entries_rejects_wrong_order_coord() {
+        let r = CooTensor::from_entries(Shape::new(vec![2, 2]), vec![(vec![0], 1.0f32)]);
+        assert!(matches!(r, Err(TensorError::OrderMismatch { .. })));
+    }
+
+    #[test]
+    fn storage_matches_paper_formula() {
+        // 4(N+1)M bytes for f32: N=3, M=3 -> 48.
+        let t = small();
+        assert_eq!(t.storage_bytes(), 48);
+    }
+
+    #[test]
+    fn to_map_round_trips_entries() {
+        let t = small();
+        let m = t.to_map();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[&vec![1, 2, 3]], 2.0);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert!(small().validate().is_ok());
+    }
+
+    #[test]
+    fn from_parts_validates_lengths() {
+        let r = CooTensor::from_parts(
+            Shape::new(vec![2, 2]),
+            vec![vec![0, 1], vec![0]],
+            vec![1.0f32, 2.0],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn same_pattern_detects_match_and_mismatch() {
+        let a = small();
+        let mut b = small();
+        assert!(a.same_pattern(&b));
+        b.vals_mut()[0] = 9.0; // values may differ
+        assert!(a.same_pattern(&b));
+        let c = CooTensor::from_entries(
+            Shape::new(vec![4, 4, 4]),
+            vec![(vec![0, 0, 1], 1.0f32)],
+        )
+        .unwrap();
+        assert!(!a.same_pattern(&c));
+    }
+
+    #[test]
+    fn norm_and_inner_product() {
+        let t = CooTensor::from_entries(
+            Shape::new(vec![4]),
+            vec![(vec![0], 3.0f64), (vec![2], 4.0)],
+        )
+        .unwrap();
+        assert!((t.frobenius_norm() - 5.0).abs() < 1e-12);
+        // <X, X> = ||X||^2; mismatched pattern errors.
+        assert_eq!(t.inner_same_pattern(&t).unwrap(), 25.0);
+        let other = CooTensor::from_entries(
+            Shape::new(vec![4]),
+            vec![(vec![1], 1.0f64)],
+        )
+        .unwrap();
+        assert!(matches!(
+            t.inner_same_pattern(&other),
+            Err(TensorError::PatternMismatch)
+        ));
+    }
+
+    #[test]
+    fn empty_tensor_is_consistent() {
+        let t = CooTensor::<f32>::empty(Shape::new(vec![5, 5]));
+        assert_eq!(t.nnz(), 0);
+        assert!(t.validate().is_ok());
+        assert_eq!(t.storage_bytes(), 0);
+    }
+}

@@ -1,0 +1,593 @@
+//! Multi-dense-mode semi-sparse COO — the general form of sCOO the paper
+//! sketches ("sCOO stores the dense mode(s) as dense array(s)", §3.1).
+//!
+//! A TTM-chain densifies one mode per step, so after two products the
+//! intermediate has *two* dense modes. [`MultiSemiSparseTensor`] holds any
+//! number of dense modes as a dense stripe per sparse fiber, and its
+//! [`MultiSemiSparseTensor::ttm`] contracts a further sparse mode without
+//! ever expanding back to COO — the representation the Tucker TTM-chain
+//! (§7 future work) needs to stay efficient.
+
+use std::collections::BTreeMap;
+
+use crate::dense::DenseMatrix;
+use crate::error::{Result, TensorError};
+use crate::scalar::Scalar;
+use crate::shape::Shape;
+
+use super::{CooTensor, SemiSparseTensor, SortState};
+
+/// A sparse tensor with an arbitrary set of dense modes: one dense value
+/// stripe (row-major over the dense modes in ascending mode order) per
+/// distinct combination of sparse-mode indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiSemiSparseTensor<S: Scalar> {
+    shape: Shape,
+    /// Dense modes, ascending.
+    dense_modes: Vec<usize>,
+    /// Per-mode index arrays; empty at dense modes, length `num_fibers()`
+    /// at sparse modes.
+    inds: Vec<Vec<u32>>,
+    /// `num_fibers() * stripe_len()` values.
+    vals: Vec<S>,
+}
+
+impl<S: Scalar> MultiSemiSparseTensor<S> {
+    /// Wrap a fully sparse tensor (no dense modes; every nonzero is its own
+    /// length-1 stripe).
+    pub fn from_coo(x: &CooTensor<S>) -> Self {
+        MultiSemiSparseTensor {
+            shape: x.shape().clone(),
+            dense_modes: Vec::new(),
+            inds: x.inds().to_vec(),
+            vals: x.vals().to_vec(),
+        }
+    }
+
+    /// Upgrade a single-dense-mode sCOO tensor.
+    pub fn from_scoo(x: &SemiSparseTensor<S>) -> Self {
+        MultiSemiSparseTensor {
+            shape: x.shape().clone(),
+            dense_modes: vec![x.dense_mode()],
+            inds: x.inds().to_vec(),
+            vals: x.vals().to_vec(),
+        }
+    }
+
+    /// The tensor shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of modes.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.shape.order()
+    }
+
+    /// The dense modes (ascending).
+    #[inline]
+    pub fn dense_modes(&self) -> &[usize] {
+        &self.dense_modes
+    }
+
+    /// The sparse modes (ascending).
+    pub fn sparse_modes(&self) -> Vec<usize> {
+        (0..self.order())
+            .filter(|m| !self.dense_modes.contains(m))
+            .collect()
+    }
+
+    /// Product of the dense modes' extents (1 when fully sparse).
+    pub fn stripe_len(&self) -> usize {
+        self.dense_modes
+            .iter()
+            .map(|&m| self.shape.dim(m) as usize)
+            .product()
+    }
+
+    /// Number of sparse fibers.
+    pub fn num_fibers(&self) -> usize {
+        match self.sparse_modes().first() {
+            Some(&m) => self.inds[m].len(),
+            None => usize::from(!self.vals.is_empty()),
+        }
+    }
+
+    /// The dense stripe of fiber `f`.
+    pub fn fiber_vals(&self, f: usize) -> &[S] {
+        let len = self.stripe_len();
+        &self.vals[f * len..(f + 1) * len]
+    }
+
+    /// Contract sparse `mode` with an `I_mode x R` matrix; `mode` becomes
+    /// dense. Fibers that agree on every other sparse mode merge into one
+    /// output fiber whose stripe grows by a factor-`R` axis.
+    pub fn ttm(&self, u: &DenseMatrix<S>, mode: usize) -> Result<MultiSemiSparseTensor<S>> {
+        self.shape.check_mode(mode)?;
+        if self.dense_modes.contains(&mode) {
+            return Err(TensorError::InvalidStructure(format!(
+                "mode {mode} is already dense"
+            )));
+        }
+        if u.rows() != self.shape.dim(mode) as usize {
+            return Err(TensorError::OperandLengthMismatch {
+                expected: self.shape.dim(mode) as usize,
+                actual: u.rows(),
+            });
+        }
+        let r = u.cols();
+        if r == 0 {
+            return Err(TensorError::OperandLengthMismatch { expected: 1, actual: 0 });
+        }
+
+        let out_shape = self.shape.with_mode_size(mode, r as u32)?;
+        let mut out_dense = self.dense_modes.clone();
+        let insert_at = out_dense.partition_point(|&m| m < mode);
+        out_dense.insert(insert_at, mode);
+
+        // Group fibers by the remaining sparse modes.
+        let keep: Vec<usize> = self
+            .sparse_modes()
+            .into_iter()
+            .filter(|&m| m != mode)
+            .collect();
+        let mf = self.num_fibers();
+        let mut order: Vec<u32> = (0..mf as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            let (a, b) = (a as usize, b as usize);
+            for &m in &keep {
+                match self.inds[m][a].cmp(&self.inds[m][b]) {
+                    std::cmp::Ordering::Equal => continue,
+                    o => return o,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+
+        let in_stripe = self.stripe_len();
+        let out_stripe = in_stripe * r;
+        // Old stripe layout: dense modes ascending; the new mode is
+        // inserted at position `insert_at`, so an old stripe index splits
+        // into (hi, lo) around it: new index = (hi * R + k) * lo_len + lo.
+        let lo_len: usize = self.dense_modes[insert_at..]
+            .iter()
+            .map(|&m| self.shape.dim(m) as usize)
+            .product();
+        let hi_len = in_stripe / lo_len.max(1);
+        debug_assert_eq!(hi_len * lo_len, in_stripe.max(1));
+
+        let mut out_inds: Vec<Vec<u32>> = vec![Vec::new(); self.order()];
+        let mut out_vals: Vec<S> = Vec::new();
+        let mut g0 = 0usize;
+        while g0 < mf {
+            // Extent of this output-fiber group.
+            let mut g1 = g0 + 1;
+            let same_group = |a: usize, b: usize| {
+                keep.iter().all(|&m| self.inds[m][a] == self.inds[m][b])
+            };
+            while g1 < mf && same_group(order[g0] as usize, order[g1] as usize) {
+                g1 += 1;
+            }
+            let rep = order[g0] as usize;
+            for &m in &keep {
+                out_inds[m].push(self.inds[m][rep]);
+            }
+            let base = out_vals.len();
+            out_vals.resize(base + out_stripe, S::ZERO);
+            for &fi in &order[g0..g1] {
+                let fi = fi as usize;
+                let k = self.inds[mode][fi] as usize;
+                let urow = u.row(k);
+                let stripe = self.fiber_vals(fi);
+                for hi in 0..hi_len {
+                    for (kk, &uv) in urow.iter().enumerate() {
+                        let dst = base + (hi * r + kk) * lo_len;
+                        let src = hi * lo_len;
+                        for lo in 0..lo_len {
+                            out_vals[dst + lo] += stripe[src + lo] * uv;
+                        }
+                    }
+                }
+            }
+            g0 = g1;
+        }
+
+        Ok(MultiSemiSparseTensor {
+            shape: out_shape,
+            dense_modes: out_dense,
+            inds: out_inds,
+            vals: out_vals,
+        })
+    }
+
+    /// Contract one mode with a vector. A *sparse* mode contracts like Ttv
+    /// (fibers agreeing on the other sparse modes merge); a *dense* mode
+    /// contracts inside every stripe (the stripe loses that axis). Both
+    /// paths keep the result semi-sparse, so Tucker-style pipelines can mix
+    /// Ttm and Ttv steps freely.
+    pub fn ttv(&self, v: &crate::dense::DenseVector<S>, mode: usize) -> Result<Self> {
+        self.shape.check_mode(mode)?;
+        if self.order() < 2 {
+            return Err(TensorError::OrderTooSmall { min: 2, actual: self.order() });
+        }
+        if v.len() != self.shape.dim(mode) as usize {
+            return Err(TensorError::OperandLengthMismatch {
+                expected: self.shape.dim(mode) as usize,
+                actual: v.len(),
+            });
+        }
+        let out_shape = self.shape.without_mode(mode)?;
+        // Mode indices shift down past the removed mode.
+        let shift = |m: usize| if m > mode { m - 1 } else { m };
+
+        if let Some(dpos) = self.dense_modes.iter().position(|&m| m == mode) {
+            // Dense-mode contraction: reduce that stripe axis.
+            let lo_len: usize = self.dense_modes[dpos + 1..]
+                .iter()
+                .map(|&m| self.shape.dim(m) as usize)
+                .product();
+            let d = self.shape.dim(mode) as usize;
+            let in_stripe = self.stripe_len();
+            let out_stripe = in_stripe / d;
+            let mf = self.num_fibers();
+            let mut out_vals = vec![S::ZERO; mf * out_stripe];
+            for f in 0..mf {
+                let src = self.fiber_vals(f);
+                let dst = &mut out_vals[f * out_stripe..(f + 1) * out_stripe];
+                for (o, dv) in dst.iter_mut().enumerate() {
+                    let (hi, lo) = (o / lo_len, o % lo_len);
+                    let mut acc = S::ZERO;
+                    for (k, vk) in v.as_slice().iter().enumerate() {
+                        acc += src[(hi * d + k) * lo_len + lo] * *vk;
+                    }
+                    *dv = acc;
+                }
+            }
+            let mut out_inds: Vec<Vec<u32>> = vec![Vec::new(); out_shape.order()];
+            for m in self.sparse_modes() {
+                out_inds[shift(m)] = self.inds[m].clone();
+            }
+            let out_dense: Vec<usize> = self
+                .dense_modes
+                .iter()
+                .filter(|&&m| m != mode)
+                .map(|&m| shift(m))
+                .collect();
+            return Ok(MultiSemiSparseTensor {
+                shape: out_shape,
+                dense_modes: out_dense,
+                inds: out_inds,
+                vals: out_vals,
+            });
+        }
+
+        // Sparse-mode contraction: merge fibers over the remaining sparse
+        // modes, scaling each stripe by v[k].
+        let keep: Vec<usize> = self
+            .sparse_modes()
+            .into_iter()
+            .filter(|&m| m != mode)
+            .collect();
+        let mf = self.num_fibers();
+        let mut order: Vec<u32> = (0..mf as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            let (a, b) = (a as usize, b as usize);
+            for &m in &keep {
+                match self.inds[m][a].cmp(&self.inds[m][b]) {
+                    std::cmp::Ordering::Equal => continue,
+                    o => return o,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let stripe = self.stripe_len();
+        let mut out_inds: Vec<Vec<u32>> = vec![Vec::new(); out_shape.order()];
+        let mut out_vals: Vec<S> = Vec::new();
+        let mut g0 = 0usize;
+        while g0 < mf {
+            let mut g1 = g0 + 1;
+            let same = |a: usize, b: usize| keep.iter().all(|&m| self.inds[m][a] == self.inds[m][b]);
+            while g1 < mf && same(order[g0] as usize, order[g1] as usize) {
+                g1 += 1;
+            }
+            let rep = order[g0] as usize;
+            for &m in &keep {
+                out_inds[shift(m)].push(self.inds[m][rep]);
+            }
+            let base = out_vals.len();
+            out_vals.resize(base + stripe, S::ZERO);
+            for &fi in &order[g0..g1] {
+                let fi = fi as usize;
+                let vk = v[self.inds[mode][fi] as usize];
+                for (o, &s) in out_vals[base..].iter_mut().zip(self.fiber_vals(fi)) {
+                    *o += s * vk;
+                }
+            }
+            g0 = g1;
+        }
+        let out_dense: Vec<usize> = self.dense_modes.iter().map(|&m| shift(m)).collect();
+        Ok(MultiSemiSparseTensor {
+            shape: out_shape,
+            dense_modes: out_dense,
+            inds: out_inds,
+            vals: out_vals,
+        })
+    }
+
+    /// Expand to COO (keeps every stored stripe value).
+    pub fn to_coo(&self) -> CooTensor<S> {
+        let order = self.order();
+        let stripe = self.stripe_len();
+        let mf = self.num_fibers();
+        let mut inds: Vec<Vec<u32>> = vec![Vec::with_capacity(mf * stripe); order];
+        let sparse = self.sparse_modes();
+        // Unravel stride per dense mode (row-major, ascending).
+        let mut strides = vec![0usize; self.dense_modes.len()];
+        {
+            let mut acc = 1usize;
+            for (i, &m) in self.dense_modes.iter().enumerate().rev() {
+                strides[i] = acc;
+                acc *= self.shape.dim(m) as usize;
+            }
+        }
+        for f in 0..mf {
+            for s in 0..stripe {
+                for &m in &sparse {
+                    inds[m].push(self.inds[m][f]);
+                }
+                for (i, &m) in self.dense_modes.iter().enumerate() {
+                    let c = (s / strides[i]) % self.shape.dim(m) as usize;
+                    inds[m].push(c as u32);
+                }
+            }
+        }
+        // Mode arrays were pushed per entry but possibly out of mode order;
+        // rebuild in mode order lengths are equal so this is fine.
+        CooTensor::from_parts_unchecked(
+            self.shape.clone(),
+            inds,
+            self.vals.clone(),
+            SortState::Unsorted,
+        )
+    }
+
+    /// Coordinate → value map of numerically nonzero values (test helper).
+    pub fn to_map(&self) -> BTreeMap<Vec<u32>, f64> {
+        let mut m = self.to_coo().to_map();
+        m.retain(|_, v| *v != 0.0);
+        m
+    }
+
+    /// Storage bytes: sparse index arrays plus the stripes.
+    pub fn storage_bytes(&self) -> u64 {
+        let mf = self.num_fibers() as u64;
+        4 * self.sparse_modes().len() as u64 * mf + self.vals.len() as u64 * S::BYTES
+    }
+
+    /// Check structural invariants.
+    pub fn validate(&self) -> Result<()> {
+        let mf = self.num_fibers();
+        for (m, arr) in self.inds.iter().enumerate() {
+            if self.dense_modes.contains(&m) {
+                if !arr.is_empty() {
+                    return Err(TensorError::InvalidStructure(format!(
+                        "dense mode {m} carries indices"
+                    )));
+                }
+            } else {
+                if arr.len() != mf {
+                    return Err(TensorError::InvalidStructure(format!(
+                        "mode {m} has {} indices, expected {mf}",
+                        arr.len()
+                    )));
+                }
+                let dim = self.shape.dim(m);
+                if let Some(&bad) = arr.iter().find(|&&i| i >= dim) {
+                    return Err(TensorError::IndexOutOfBounds { mode: m, index: bad, dim });
+                }
+            }
+        }
+        if self.vals.len() != mf * self.stripe_len() {
+            return Err(TensorError::InvalidStructure(format!(
+                "{} values for {mf} fibers of stripe {}",
+                self.vals.len(),
+                self.stripe_len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooTensor<f64> {
+        CooTensor::from_entries(
+            Shape::new(vec![3, 4, 5]),
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 0, 2], 2.0),
+                (vec![1, 2, 1], 3.0),
+                (vec![2, 3, 0], 4.0),
+                (vec![2, 3, 4], 5.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// Dense reference Ttm on a map representation.
+    fn ref_ttm(
+        m: &BTreeMap<Vec<u32>, f64>,
+        u: &DenseMatrix<f64>,
+        mode: usize,
+    ) -> BTreeMap<Vec<u32>, f64> {
+        let mut out = BTreeMap::new();
+        for (c, v) in m {
+            for r in 0..u.cols() {
+                let mut k = c.clone();
+                k[mode] = r as u32;
+                *out.entry(k).or_insert(0.0) += v * u[(c[mode] as usize, r)];
+            }
+        }
+        out.retain(|_, v| *v != 0.0);
+        out
+    }
+
+    #[test]
+    fn from_coo_round_trips() {
+        let x = sample();
+        let ms = MultiSemiSparseTensor::from_coo(&x);
+        assert!(ms.validate().is_ok());
+        assert_eq!(ms.stripe_len(), 1);
+        assert_eq!(ms.num_fibers(), x.nnz());
+        assert_eq!(ms.to_map(), x.to_map());
+    }
+
+    #[test]
+    fn single_ttm_matches_reference() {
+        let x = sample();
+        let u = DenseMatrix::from_fn(5, 2, |i, j| (i + j + 1) as f64);
+        let ms = MultiSemiSparseTensor::from_coo(&x).ttm(&u, 2).unwrap();
+        assert!(ms.validate().is_ok());
+        assert_eq!(ms.dense_modes(), &[2]);
+        assert_eq!(ms.to_map(), ref_ttm(&x.to_map(), &u, 2));
+    }
+
+    #[test]
+    fn chained_ttm_accumulates_dense_modes() {
+        let x = sample();
+        let u2 = DenseMatrix::from_fn(5, 2, |i, j| (i + j + 1) as f64);
+        let u0 = DenseMatrix::from_fn(3, 3, |i, j| (2 * i + j) as f64 * 0.5);
+        let step1 = MultiSemiSparseTensor::from_coo(&x).ttm(&u2, 2).unwrap();
+        let step2 = step1.ttm(&u0, 0).unwrap();
+        assert_eq!(step2.dense_modes(), &[0, 2]);
+        assert!(step2.validate().is_ok());
+        let expect = ref_ttm(&ref_ttm(&x.to_map(), &u2, 2), &u0, 0);
+        assert_eq!(step2.to_map(), expect);
+    }
+
+    #[test]
+    fn full_chain_produces_dense_core() {
+        let x = sample();
+        let us: Vec<DenseMatrix<f64>> = vec![
+            DenseMatrix::from_fn(3, 2, |i, j| (i + j) as f64 + 1.0),
+            DenseMatrix::from_fn(4, 2, |i, j| (i * 2 + j) as f64 * 0.25),
+            DenseMatrix::from_fn(5, 2, |i, j| (i + 3 * j) as f64 * 0.1),
+        ];
+        let mut ms = MultiSemiSparseTensor::from_coo(&x);
+        let mut expect = x.to_map();
+        for (m, u) in us.iter().enumerate() {
+            ms = ms.ttm(u, m).unwrap();
+            expect = ref_ttm(&expect, u, m);
+        }
+        assert_eq!(ms.dense_modes(), &[0, 1, 2]);
+        assert_eq!(ms.num_fibers(), 1);
+        assert_eq!(ms.stripe_len(), 8);
+        for (k, v) in &expect {
+            let got = ms.to_map()[k];
+            assert!((got - v).abs() < 1e-9, "{k:?}: {got} vs {v}");
+        }
+    }
+
+    /// Dense reference Ttv on a map representation.
+    fn ref_ttv(
+        m: &BTreeMap<Vec<u32>, f64>,
+        v: &crate::dense::DenseVector<f64>,
+        mode: usize,
+    ) -> BTreeMap<Vec<u32>, f64> {
+        let mut out = BTreeMap::new();
+        for (c, val) in m {
+            let mut k = c.clone();
+            let idx = k.remove(mode) as usize;
+            *out.entry(k).or_insert(0.0) += val * v[idx];
+        }
+        out.retain(|_, v| *v != 0.0);
+        out
+    }
+
+    #[test]
+    fn ttv_on_sparse_mode_matches_reference() {
+        let x = sample();
+        let v = crate::dense::DenseVector::from_fn(5, |i| (i + 1) as f64);
+        let ms = MultiSemiSparseTensor::from_coo(&x).ttv(&v, 2).unwrap();
+        assert!(ms.validate().is_ok());
+        assert_eq!(ms.to_map(), ref_ttv(&x.to_map(), &v, 2));
+        assert!(ms.dense_modes().is_empty());
+    }
+
+    #[test]
+    fn ttv_on_dense_mode_reduces_the_stripe() {
+        let x = sample();
+        let u = DenseMatrix::from_fn(5, 3, |i, j| (i + j + 1) as f64);
+        let semi = MultiSemiSparseTensor::from_coo(&x).ttm(&u, 2).unwrap();
+        let v = crate::dense::DenseVector::from_fn(3, |i| (2 * i + 1) as f64);
+        let out = semi.ttv(&v, 2).unwrap();
+        assert!(out.validate().is_ok());
+        assert!(out.dense_modes().is_empty());
+        let expect = ref_ttv(&semi.to_map(), &v, 2);
+        assert_eq!(out.to_map(), expect);
+    }
+
+    #[test]
+    fn mixed_ttm_then_ttv_pipeline() {
+        // Ttm mode 0 (densify), Ttv mode 1 (sparse contract), Ttv mode 0
+        // (dense contract) -> order-1 result.
+        let x = sample();
+        let u0 = DenseMatrix::from_fn(3, 2, |i, j| (i + 2 * j) as f64 * 0.5);
+        let v1 = crate::dense::DenseVector::from_fn(4, |i| (i as f64) - 1.5);
+        let v0 = crate::dense::DenseVector::from_fn(2, |i| (i + 1) as f64);
+        let step1 = MultiSemiSparseTensor::from_coo(&x).ttm(&u0, 0).unwrap();
+        let step2 = step1.ttv(&v1, 1).unwrap();
+        let step3 = step2.ttv(&v0, 0).unwrap();
+        assert_eq!(step3.order(), 1);
+        let expect = ref_ttv(&ref_ttv(&step1.to_map(), &v1, 1), &v0, 0);
+        assert_eq!(step3.to_map(), expect);
+    }
+
+    #[test]
+    fn ttv_rejects_bad_operands() {
+        let x = sample();
+        let ms = MultiSemiSparseTensor::from_coo(&x);
+        let short = crate::dense::DenseVector::constant(3, 1.0f64);
+        assert!(ms.ttv(&short, 2).is_err());
+        assert!(ms
+            .ttv(&crate::dense::DenseVector::constant(5, 1.0), 7)
+            .is_err());
+    }
+
+    #[test]
+    fn ttm_on_dense_mode_is_rejected() {
+        let x = sample();
+        let u = DenseMatrix::from_fn(5, 2, |_, _| 1.0);
+        let ms = MultiSemiSparseTensor::from_coo(&x).ttm(&u, 2).unwrap();
+        let u2 = DenseMatrix::from_fn(2, 2, |_, _| 1.0);
+        assert!(ms.ttm(&u2, 2).is_err());
+    }
+
+    #[test]
+    fn from_scoo_agrees_with_kernel_output() {
+        let x32 = CooTensor::<f32>::from_entries(
+            Shape::new(vec![3, 4, 5]),
+            sample().iter_entries().map(|(c, v)| (c, v as f32)).collect(),
+        )
+        .unwrap();
+        let u = DenseMatrix::from_fn(5, 2, |i, j| (i + j + 1) as f32);
+        let scoo = crate::kernels::ttm::ttm(&x32, &u, 2).unwrap();
+        let ms = MultiSemiSparseTensor::from_scoo(&scoo);
+        assert!(ms.validate().is_ok());
+        assert_eq!(ms.to_map(), scoo.to_map());
+    }
+
+    #[test]
+    fn fiber_merging_reduces_fibers() {
+        // Two nonzeros sharing (i, j) merge after contracting mode 2.
+        let x = sample();
+        let u = DenseMatrix::from_fn(5, 2, |_, _| 1.0);
+        let ms = MultiSemiSparseTensor::from_coo(&x).ttm(&u, 2).unwrap();
+        // (0,0,0) and (0,0,2) merge; (2,3,0) and (2,3,4) merge.
+        assert_eq!(ms.num_fibers(), 3);
+    }
+}

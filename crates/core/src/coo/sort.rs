@@ -1,0 +1,211 @@
+//! Nonzero ordering: lexicographic (per mode precedence) and Morton (block)
+//! sorts, with sort-state tracking so kernels can skip redundant re-sorts.
+
+use rayon::prelude::*;
+
+use crate::hicoo::morton;
+use crate::scalar::Scalar;
+
+use super::CooTensor;
+
+/// Tracks how the nonzeros of a [`CooTensor`] are currently ordered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SortState {
+    /// No known ordering.
+    Unsorted,
+    /// Lexicographic by the given mode precedence (first entry varies
+    /// slowest).
+    Lexicographic(Vec<usize>),
+    /// Morton (Z-order) over block coordinates with the given block bits,
+    /// lexicographic within each block — the HiCOO construction order.
+    Morton {
+        /// log2 of the block edge length.
+        block_bits: u8,
+    },
+}
+
+impl SortState {
+    /// `true` if the state is lexicographic with exactly this precedence.
+    pub fn is_lexicographic(&self, mode_order: &[usize]) -> bool {
+        matches!(self, SortState::Lexicographic(o) if o == mode_order)
+    }
+
+    /// `true` if sorted with `mode` innermost and the remaining modes in
+    /// ascending order (the fiber-kernel requirement).
+    pub fn is_mode_last(&self, order: usize, mode: usize) -> bool {
+        self.is_lexicographic(&crate::shape::mode_last_order(order, mode))
+    }
+
+    /// `true` if Morton-sorted with the given block bits.
+    pub fn is_morton(&self, block_bits: u8) -> bool {
+        matches!(self, SortState::Morton { block_bits: b } if *b == block_bits)
+    }
+}
+
+/// Apply a gather permutation to every array of the tensor.
+fn apply_perm<S: Scalar>(t: &mut CooTensor<S>, perm: &[u32]) {
+    let gather_u32 = |src: &[u32]| -> Vec<u32> {
+        perm.par_iter().map(|&p| src[p as usize]).collect()
+    };
+    for m in 0..t.order() {
+        t.inds[m] = gather_u32(&t.inds[m]);
+    }
+    t.vals = perm.par_iter().map(|&p| t.vals[p as usize]).collect();
+}
+
+pub(super) fn sort_lexicographic<S: Scalar>(t: &mut CooTensor<S>, mode_order: &[usize]) {
+    assert_eq!(mode_order.len(), t.order(), "mode order must be a permutation");
+    if t.sort.is_lexicographic(mode_order) {
+        return;
+    }
+    let m = t.nnz();
+    let mut perm: Vec<u32> = (0..m as u32).collect();
+    {
+        let inds = &t.inds;
+        perm.par_sort_unstable_by(|&a, &b| {
+            let (a, b) = (a as usize, b as usize);
+            for &mode in mode_order {
+                let arr = &inds[mode];
+                match arr[a].cmp(&arr[b]) {
+                    std::cmp::Ordering::Equal => continue,
+                    ord => return ord,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    apply_perm(t, &perm);
+    t.sort = SortState::Lexicographic(mode_order.to_vec());
+}
+
+pub(super) fn sort_morton<S: Scalar>(t: &mut CooTensor<S>, block_bits: u8) {
+    if t.sort.is_morton(block_bits) {
+        return;
+    }
+    let m = t.nnz();
+    let order = t.order();
+    let mut perm: Vec<u32> = (0..m as u32).collect();
+
+    // Fast path: orders <= 4 get packed 128-bit Morton block keys; beyond
+    // that we fall back to the comparison-based most-significant-bit trick.
+    if order <= 4 {
+        let keys: Vec<u128> = (0..m)
+            .into_par_iter()
+            .map(|i| {
+                let mut bc = [0u32; 4];
+                for (mode, arr) in t.inds.iter().enumerate() {
+                    bc[mode] = arr[i] >> block_bits;
+                }
+                morton::interleave_key(&bc[..order])
+            })
+            .collect();
+        let inds = &t.inds;
+        perm.par_sort_unstable_by(|&a, &b| {
+            let (a, b) = (a as usize, b as usize);
+            keys[a].cmp(&keys[b]).then_with(|| {
+                for arr in inds {
+                    match arr[a].cmp(&arr[b]) {
+                        std::cmp::Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                std::cmp::Ordering::Equal
+            })
+        });
+    } else {
+        let inds = &t.inds;
+        perm.par_sort_unstable_by(|&a, &b| {
+            let (a, b) = (a as usize, b as usize);
+            let ba = |mode: usize| inds[mode][a] >> block_bits;
+            let bb = |mode: usize| inds[mode][b] >> block_bits;
+            let bca: Vec<u32> = (0..order).map(ba).collect();
+            let bcb: Vec<u32> = (0..order).map(bb).collect();
+            morton::morton_cmp(&bca, &bcb).then_with(|| {
+                for arr in inds {
+                    match arr[a].cmp(&arr[b]) {
+                        std::cmp::Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                std::cmp::Ordering::Equal
+            })
+        });
+    }
+
+    apply_perm(t, &perm);
+    t.sort = SortState::Morton { block_bits };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::coo::CooTensor;
+    use crate::shape::Shape;
+
+    
+
+    fn unsorted() -> CooTensor<f32> {
+        CooTensor::from_parts(
+            Shape::new(vec![4, 4, 4]),
+            vec![vec![3, 0, 1, 0], vec![1, 2, 0, 0], vec![2, 1, 3, 0]],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lexicographic_default_order() {
+        let mut t = unsorted();
+        t.sort_lexicographic(&[0, 1, 2]);
+        assert_eq!(t.mode_inds(0), &[0, 0, 1, 3]);
+        assert_eq!(t.mode_inds(1), &[0, 2, 0, 1]);
+        assert_eq!(t.vals(), &[4.0, 2.0, 3.0, 1.0]);
+        assert!(t.sort_state().is_lexicographic(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn mode_last_sort_groups_fibers() {
+        let mut t = unsorted();
+        t.sort_mode_last(0); // order [1, 2, 0]
+        assert!(t.sort_state().is_mode_last(3, 0));
+        // Sorted by (j, k, i): entries (0,0,0,i=0),(0,3,i=1),(1,2,i=3),(2,1,i=0)
+        assert_eq!(t.mode_inds(1), &[0, 0, 1, 2]);
+        assert_eq!(t.mode_inds(2), &[0, 3, 2, 1]);
+        assert_eq!(t.mode_inds(0), &[0, 1, 3, 0]);
+    }
+
+    #[test]
+    fn sort_is_idempotent_and_tracked() {
+        let mut t = unsorted();
+        t.sort_lexicographic(&[0, 1, 2]);
+        let snapshot = t.clone();
+        t.sort_lexicographic(&[0, 1, 2]); // no-op
+        assert_eq!(t, snapshot);
+    }
+
+    #[test]
+    fn morton_sort_groups_blocks() {
+        // Block bits 1 => 2x2x2 blocks; entries in the same block must be
+        // adjacent after the sort.
+        let mut t = CooTensor::from_parts(
+            Shape::new(vec![4, 4, 4]),
+            vec![vec![0, 3, 1, 2], vec![0, 3, 1, 2], vec![0, 3, 1, 2]],
+            vec![1.0f32, 2.0, 3.0, 4.0],
+        )
+        .unwrap();
+        t.sort_morton(1);
+        assert!(t.sort_state().is_morton(1));
+        // Block coords: (0,0,0) for rows 0 and 1-as-(1,1,1)? No: (1,1,1)>>1=(0,0,0),
+        // (2,2,2)>>1=(1,1,1), (3,3,3)>>1=(1,1,1). So order: {0,1} block then {2,3}.
+        assert_eq!(t.mode_inds(0), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn values_follow_their_coordinates() {
+        let mut t = unsorted();
+        let before = t.to_map();
+        t.sort_morton(1);
+        assert_eq!(before, t.to_map());
+        t.sort_lexicographic(&[2, 1, 0]);
+        assert_eq!(before, t.to_map());
+    }
+}

@@ -1,0 +1,8 @@
+//! Dense operands: the rank-`R` factor matrices and vectors that the sparse
+//! kernels multiply against.
+
+mod matrix;
+mod vector;
+
+pub use matrix::DenseMatrix;
+pub use vector::DenseVector;

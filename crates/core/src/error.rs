@@ -1,0 +1,147 @@
+//! Error type shared by every format and kernel in the suite.
+
+use std::fmt;
+
+/// Convenience alias used throughout `tenbench`.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors produced by tensor construction, conversion, and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// Two tensors were expected to have the same shape.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Vec<u32>,
+        /// Shape of the right operand.
+        right: Vec<u32>,
+    },
+    /// Two tensors were expected to have the same order (number of modes).
+    OrderMismatch {
+        /// Order of the left operand.
+        left: usize,
+        /// Order of the right operand.
+        right: usize,
+    },
+    /// A mode argument was `>=` the tensor order.
+    ModeOutOfRange {
+        /// The offending mode.
+        mode: usize,
+        /// The tensor order.
+        order: usize,
+    },
+    /// A coordinate was outside the tensor shape.
+    IndexOutOfBounds {
+        /// Mode in which the violation happened.
+        mode: usize,
+        /// The offending index.
+        index: u32,
+        /// The dimension size of that mode.
+        dim: u32,
+    },
+    /// An operand (vector or matrix) had the wrong length for the mode it
+    /// multiplies.
+    OperandLengthMismatch {
+        /// Expected length (the dimension of the contracted mode).
+        expected: usize,
+        /// Actual operand length.
+        actual: usize,
+    },
+    /// The two tensors of a same-pattern element-wise operation did not have
+    /// identical nonzero patterns.
+    PatternMismatch,
+    /// A tensor had zero order; the suite requires order >= 1 (>= 2 for some
+    /// kernels such as Ttv whose output drops a mode).
+    OrderTooSmall {
+        /// Minimum supported order for the operation.
+        min: usize,
+        /// Actual order.
+        actual: usize,
+    },
+    /// HiCOO block size out of range: element indices are stored in 8 bits,
+    /// so `block_bits` must be in `1..=8`.
+    InvalidBlockBits(u8),
+    /// The requested gHiCOO compression plan did not match the tensor order.
+    InvalidCompressionPlan {
+        /// Number of per-mode flags supplied.
+        flags: usize,
+        /// Tensor order.
+        order: usize,
+    },
+    /// A structural invariant of a format was violated (used by validators).
+    InvalidStructure(String),
+    /// Mttkrp was given the wrong number of factor matrices, or a factor had
+    /// the wrong number of rows or columns.
+    FactorMismatch(String),
+    /// Division by a zero value was attempted in an element-wise kernel.
+    DivisionByZero,
+    /// An arithmetic overflow while computing sizes (tensor too large).
+    SizeOverflow,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::OrderMismatch { left, right } => {
+                write!(f, "order mismatch: {left} vs {right}")
+            }
+            TensorError::ModeOutOfRange { mode, order } => {
+                write!(f, "mode {mode} out of range for order-{order} tensor")
+            }
+            TensorError::IndexOutOfBounds { mode, index, dim } => {
+                write!(f, "index {index} out of bounds for mode {mode} of size {dim}")
+            }
+            TensorError::OperandLengthMismatch { expected, actual } => {
+                write!(f, "operand length {actual} does not match mode size {expected}")
+            }
+            TensorError::PatternMismatch => {
+                write!(f, "tensors do not share a nonzero pattern")
+            }
+            TensorError::OrderTooSmall { min, actual } => {
+                write!(f, "tensor order {actual} below minimum {min} for this operation")
+            }
+            TensorError::InvalidBlockBits(b) => {
+                write!(f, "block_bits {b} outside supported range 1..=8")
+            }
+            TensorError::InvalidCompressionPlan { flags, order } => {
+                write!(f, "compression plan has {flags} flags for order-{order} tensor")
+            }
+            TensorError::InvalidStructure(msg) => write!(f, "invalid structure: {msg}"),
+            TensorError::FactorMismatch(msg) => write!(f, "factor mismatch: {msg}"),
+            TensorError::DivisionByZero => write!(f, "division by zero"),
+            TensorError::SizeOverflow => write!(f, "size computation overflowed"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch {
+            left: vec![2, 3],
+            right: vec![2, 4],
+        };
+        let s = e.to_string();
+        assert!(s.contains("[2, 3]") && s.contains("[2, 4]"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&TensorError::PatternMismatch);
+    }
+
+    #[test]
+    fn mode_out_of_range_mentions_both() {
+        let e = TensorError::ModeOutOfRange { mode: 5, order: 3 };
+        assert!(e.to_string().contains('5') && e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,498 @@
+//! Mttkrp — matricized tensor times Khatri–Rao product (paper §2.5).
+//!
+//! For mode `n`, each nonzero `x_{i_1..i_N}` scales the element-wise product
+//! of the other modes' factor rows and accumulates into row `i_n` of the
+//! output. The Khatri–Rao product is never materialized ("these operations
+//! tend to be not implemented directly but rather integrated into tensor
+//! operations").
+//!
+//! The paper's reference COO-Mttkrp-OMP parallelizes over nonzeros and
+//! protects the output with `omp atomic`; that is [`MttkrpStrategy::Atomic`]
+//! here. Two lock-avoiding alternatives are provided for the ablation study
+//! only (A2 in DESIGN.md) — the paper deliberately keeps them out of the
+//! reference. HiCOO-Mttkrp-OMP (Algorithm 2) parallelizes over blocks and
+//! reuses per-block factor sub-matrices.
+
+use rayon::prelude::*;
+
+use crate::atomic::AtomicScalar;
+use crate::coo::CooTensor;
+use crate::dense::DenseMatrix;
+use crate::error::{Result, TensorError};
+use crate::hicoo::HicooTensor;
+use crate::scalar::Scalar;
+use crate::shape::Shape;
+
+/// Parallelization strategy for COO Mttkrp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MttkrpStrategy {
+    /// Single-threaded baseline.
+    Seq,
+    /// Nonzero-parallel with atomic output updates — the paper's reference
+    /// (`omp atomic` analogue).
+    Atomic,
+    /// Nonzero-parallel with one private output copy per worker, reduced at
+    /// the end. Lock-free but needs `threads x I_n x R` scratch memory.
+    Privatized,
+    /// Nonzero-parallel with one mutex per output row.
+    RowLocked,
+}
+
+fn check_factors<S: Scalar>(
+    shape: &Shape,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+) -> Result<usize> {
+    shape.check_mode(mode)?;
+    if factors.len() != shape.order() {
+        return Err(TensorError::FactorMismatch(format!(
+            "{} factor matrices for order-{} tensor",
+            factors.len(),
+            shape.order()
+        )));
+    }
+    let r = factors[0].cols();
+    if r == 0 {
+        return Err(TensorError::FactorMismatch("rank must be >= 1".into()));
+    }
+    for (m, f) in factors.iter().enumerate() {
+        if f.cols() != r {
+            return Err(TensorError::FactorMismatch(format!(
+                "factor {m} has {} columns, expected {r}",
+                f.cols()
+            )));
+        }
+        if f.rows() != shape.dim(m) as usize {
+            return Err(TensorError::FactorMismatch(format!(
+                "factor {m} has {} rows, expected {}",
+                f.rows(),
+                shape.dim(m)
+            )));
+        }
+    }
+    Ok(r)
+}
+
+/// Accumulate the contribution of nonzero `z` into `row` (length `R`).
+#[inline]
+fn scale_rows<S: Scalar>(
+    x: &CooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+    z: usize,
+    scratch: &mut [S],
+) {
+    let val = x.vals()[z];
+    scratch.fill(val);
+    for (m, f) in factors.iter().enumerate() {
+        if m == mode {
+            continue;
+        }
+        let row = f.row(x.mode_inds(m)[z] as usize);
+        for (s, &c) in scratch.iter_mut().zip(row) {
+            *s *= c;
+        }
+    }
+}
+
+/// Sequential COO Mttkrp.
+pub fn mttkrp_seq<S: Scalar>(
+    x: &CooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+) -> Result<DenseMatrix<S>> {
+    let r = check_factors(x.shape(), factors, mode)?;
+    let mut out = DenseMatrix::zeros(x.shape().dim(mode) as usize, r);
+    let mut scratch = vec![S::ZERO; r];
+    let rows = x.mode_inds(mode);
+    for z in 0..x.nnz() {
+        scale_rows(x, factors, mode, z, &mut scratch);
+        let dst = out.row_mut(rows[z] as usize);
+        for (d, &s) in dst.iter_mut().zip(&scratch) {
+            *d += s;
+        }
+    }
+    Ok(out)
+}
+
+/// Nonzero-parallel COO Mttkrp with atomic output updates (the paper's
+/// COO-Mttkrp-OMP).
+pub fn mttkrp_atomic<S: Scalar>(
+    x: &CooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+) -> Result<DenseMatrix<S>> {
+    let r = check_factors(x.shape(), factors, mode)?;
+    let mut out = DenseMatrix::zeros(x.shape().dim(mode) as usize, r);
+    {
+        let cells = S::as_atomic_slice(out.data_mut());
+        let rows = x.mode_inds(mode);
+        let m = x.nnz();
+        let grain = 1024usize;
+        (0..m.div_ceil(grain)).into_par_iter().for_each(|c| {
+            let mut scratch = vec![S::ZERO; r];
+            let end = ((c + 1) * grain).min(m);
+            for z in c * grain..end {
+                scale_rows(x, factors, mode, z, &mut scratch);
+                let base = rows[z] as usize * r;
+                for (k, &s) in scratch.iter().enumerate() {
+                    cells[base + k].fetch_add(s);
+                }
+            }
+        });
+    }
+    Ok(out)
+}
+
+/// Nonzero-parallel COO Mttkrp with per-worker private outputs (ablation).
+pub fn mttkrp_privatized<S: Scalar>(
+    x: &CooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+) -> Result<DenseMatrix<S>> {
+    let r = check_factors(x.shape(), factors, mode)?;
+    let rows_n = x.shape().dim(mode) as usize;
+    let rows = x.mode_inds(mode);
+    let m = x.nnz();
+    let grain = 4096usize;
+    let partials: Vec<DenseMatrix<S>> = (0..m.div_ceil(grain))
+        .into_par_iter()
+        .fold(
+            || DenseMatrix::zeros(rows_n, r),
+            |mut local, c| {
+                let mut scratch = vec![S::ZERO; r];
+                let end = ((c + 1) * grain).min(m);
+                for z in c * grain..end {
+                    scale_rows(x, factors, mode, z, &mut scratch);
+                    let dst = local.row_mut(rows[z] as usize);
+                    for (d, &s) in dst.iter_mut().zip(&scratch) {
+                        *d += s;
+                    }
+                }
+                local
+            },
+        )
+        .collect();
+    let mut out = DenseMatrix::zeros(rows_n, r);
+    for p in partials {
+        for (d, &s) in out.data_mut().iter_mut().zip(p.data()) {
+            *d += s;
+        }
+    }
+    Ok(out)
+}
+
+/// Nonzero-parallel COO Mttkrp with one mutex per output row (ablation).
+pub fn mttkrp_row_locked<S: Scalar>(
+    x: &CooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+) -> Result<DenseMatrix<S>> {
+    let r = check_factors(x.shape(), factors, mode)?;
+    let rows_n = x.shape().dim(mode) as usize;
+    let locked: Vec<parking_lot::Mutex<Vec<S>>> = (0..rows_n)
+        .map(|_| parking_lot::Mutex::new(vec![S::ZERO; r]))
+        .collect();
+    let rows = x.mode_inds(mode);
+    let m = x.nnz();
+    let grain = 1024usize;
+    (0..m.div_ceil(grain)).into_par_iter().for_each(|c| {
+        let mut scratch = vec![S::ZERO; r];
+        let end = ((c + 1) * grain).min(m);
+        for z in c * grain..end {
+            scale_rows(x, factors, mode, z, &mut scratch);
+            let mut row = locked[rows[z] as usize].lock();
+            for (d, &s) in row.iter_mut().zip(&scratch) {
+                *d += s;
+            }
+        }
+    });
+    let mut out = DenseMatrix::zeros(rows_n, r);
+    for (i, cell) in locked.into_iter().enumerate() {
+        out.row_mut(i).copy_from_slice(&cell.into_inner());
+    }
+    Ok(out)
+}
+
+/// COO Mttkrp with an explicit strategy.
+pub fn mttkrp_with<S: Scalar>(
+    x: &CooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+    strategy: MttkrpStrategy,
+) -> Result<DenseMatrix<S>> {
+    match strategy {
+        MttkrpStrategy::Seq => mttkrp_seq(x, factors, mode),
+        MttkrpStrategy::Atomic => mttkrp_atomic(x, factors, mode),
+        MttkrpStrategy::Privatized => mttkrp_privatized(x, factors, mode),
+        MttkrpStrategy::RowLocked => mttkrp_row_locked(x, factors, mode),
+    }
+}
+
+/// COO Mttkrp with the paper's reference strategy (atomic).
+///
+/// # Examples
+/// ```
+/// use tenbench_core::prelude::*;
+/// use tenbench_core::kernels::mttkrp::mttkrp;
+///
+/// let x = CooTensor::<f32>::from_entries(
+///     Shape::new(vec![2, 2, 2]),
+///     vec![(vec![0, 0, 0], 1.0), (vec![1, 1, 1], 2.0)],
+/// )?;
+/// // All-ones rank-3 factors: each output row sums its nonzero values.
+/// let f: Vec<DenseMatrix<f32>> = (0..3).map(|_| DenseMatrix::constant(2, 3, 1.0)).collect();
+/// let frefs: Vec<&DenseMatrix<f32>> = f.iter().collect();
+/// let out = mttkrp(&x, &frefs, 0)?;
+/// assert_eq!(out.row(0), &[1.0, 1.0, 1.0]);
+/// assert_eq!(out.row(1), &[2.0, 2.0, 2.0]);
+/// # Ok::<(), TensorError>(())
+/// ```
+pub fn mttkrp<S: Scalar>(
+    x: &CooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+) -> Result<DenseMatrix<S>> {
+    mttkrp_atomic(x, factors, mode)
+}
+
+/// HiCOO-Mttkrp-OMP (Algorithm 2): block-parallel, with per-block base
+/// offsets into the factor matrices so only 8-bit element indices are
+/// touched in the inner loop. Blocks sharing an output row block still race,
+/// so updates remain atomic — the paper keeps advanced lock-avoiding
+/// scheduling out of the reference implementation.
+pub fn mttkrp_hicoo<S: Scalar>(
+    h: &HicooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+) -> Result<DenseMatrix<S>> {
+    let r = check_factors(h.shape(), factors, mode)?;
+    let mut out = DenseMatrix::zeros(h.shape().dim(mode) as usize, r);
+    let bits = h.block_bits();
+    {
+        let cells = S::as_atomic_slice(out.data_mut());
+        let order = h.order();
+        (0..h.num_blocks()).into_par_iter().for_each(|b| {
+            let mut scratch = vec![S::ZERO; r];
+            // Base row offsets of this block in every factor matrix.
+            let base: Vec<usize> = (0..order)
+                .map(|m| (h.block_ind(b, m) as usize) << bits)
+                .collect();
+            for z in h.block_range(b) {
+                let val = h.vals()[z];
+                scratch.fill(val);
+                for (m, f) in factors.iter().enumerate() {
+                    if m == mode {
+                        continue;
+                    }
+                    let row = f.row(base[m] + h.einds()[m][z] as usize);
+                    for (s, &c) in scratch.iter_mut().zip(row) {
+                        *s *= c;
+                    }
+                }
+                let out_row = base[mode] + h.einds()[mode][z] as usize;
+                for (k, &s) in scratch.iter().enumerate() {
+                    cells[out_row * r + k].fetch_add(s);
+                }
+            }
+        });
+    }
+    Ok(out)
+}
+
+/// Sequential HiCOO Mttkrp baseline.
+pub fn mttkrp_hicoo_seq<S: Scalar>(
+    h: &HicooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+) -> Result<DenseMatrix<S>> {
+    let r = check_factors(h.shape(), factors, mode)?;
+    let mut out = DenseMatrix::zeros(h.shape().dim(mode) as usize, r);
+    let bits = h.block_bits();
+    let order = h.order();
+    let mut scratch = vec![S::ZERO; r];
+    for b in 0..h.num_blocks() {
+        let base: Vec<usize> = (0..order)
+            .map(|m| (h.block_ind(b, m) as usize) << bits)
+            .collect();
+        for z in h.block_range(b) {
+            let val = h.vals()[z];
+            scratch.fill(val);
+            for (m, f) in factors.iter().enumerate() {
+                if m == mode {
+                    continue;
+                }
+                let row = f.row(base[m] + h.einds()[m][z] as usize);
+                for (s, &c) in scratch.iter_mut().zip(row) {
+                    *s *= c;
+                }
+            }
+            let dst = out.row_mut(base[mode] + h.einds()[mode][z] as usize);
+            for (d, &s) in dst.iter_mut().zip(&scratch) {
+                *d += s;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::scalar::approx_eq;
+
+    use super::*;
+
+    fn sample() -> CooTensor<f32> {
+        CooTensor::from_entries(
+            Shape::new(vec![3, 4, 5]),
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 0, 2], 2.0),
+                (vec![1, 2, 1], 3.0),
+                (vec![2, 3, 0], 4.0),
+                (vec![2, 3, 4], 5.0),
+                (vec![0, 1, 1], -2.5),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn factors(shape: &Shape, r: usize) -> Vec<DenseMatrix<f32>> {
+        (0..shape.order())
+            .map(|m| {
+                DenseMatrix::from_fn(shape.dim(m) as usize, r, |i, j| {
+                    ((i * 31 + j * 7 + m * 13) % 5) as f32 - 2.0
+                })
+            })
+            .collect()
+    }
+
+    fn refs(f: &[DenseMatrix<f32>]) -> Vec<&DenseMatrix<f32>> {
+        f.iter().collect()
+    }
+
+    /// Dense reference: out[i_n][r] = sum over nnz of val * prod factors.
+    fn reference(
+        x: &CooTensor<f32>,
+        factors: &[&DenseMatrix<f32>],
+        mode: usize,
+    ) -> DenseMatrix<f64> {
+        let r = factors[0].cols();
+        let mut out = DenseMatrix::<f64>::zeros(x.shape().dim(mode) as usize, r);
+        for (c, v) in x.iter_entries() {
+            for k in 0..r {
+                let mut acc = v as f64;
+                for (m, f) in factors.iter().enumerate() {
+                    if m != mode {
+                        acc *= f[(c[m] as usize, k)] as f64;
+                    }
+                }
+                out[(c[mode] as usize, k)] += acc;
+            }
+        }
+        out
+    }
+
+    fn assert_matches(a: &DenseMatrix<f32>, b: &DenseMatrix<f64>) {
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.cols(), b.cols());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!(
+                approx_eq(*x as f64, *y, 1e-5),
+                "mismatch: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_strategies_match_reference_every_mode() {
+        let x = sample();
+        let f = factors(x.shape(), 4);
+        for mode in 0..3 {
+            let expect = reference(&x, &refs(&f), mode);
+            for strat in [
+                MttkrpStrategy::Seq,
+                MttkrpStrategy::Atomic,
+                MttkrpStrategy::Privatized,
+                MttkrpStrategy::RowLocked,
+            ] {
+                let got = mttkrp_with(&x, &refs(&f), mode, strat).unwrap();
+                assert_matches(&got, &expect);
+            }
+        }
+    }
+
+    #[test]
+    fn hicoo_matches_reference_every_mode() {
+        let x = sample();
+        let f = factors(x.shape(), 4);
+        let h = HicooTensor::from_coo(&x, 1).unwrap();
+        for mode in 0..3 {
+            let expect = reference(&x, &refs(&f), mode);
+            let got = mttkrp_hicoo(&h, &refs(&f), mode).unwrap();
+            assert_matches(&got, &expect);
+            let got_seq = mttkrp_hicoo_seq(&h, &refs(&f), mode).unwrap();
+            assert_matches(&got_seq, &expect);
+        }
+    }
+
+    #[test]
+    fn factor_validation() {
+        let x = sample();
+        let f = factors(x.shape(), 4);
+        // Wrong count.
+        assert!(matches!(
+            mttkrp(&x, &refs(&f)[..2], 0),
+            Err(TensorError::FactorMismatch(_))
+        ));
+        // Wrong rank on one factor.
+        let mut bad = factors(x.shape(), 4);
+        bad[1] = DenseMatrix::zeros(4, 3);
+        assert!(mttkrp(&x, &refs(&bad), 0).is_err());
+        // Wrong row count.
+        let mut bad2 = factors(x.shape(), 4);
+        bad2[2] = DenseMatrix::zeros(6, 4);
+        assert!(mttkrp(&x, &refs(&bad2), 0).is_err());
+        // Zero rank.
+        let zero = vec![
+            DenseMatrix::<f32>::zeros(3, 0),
+            DenseMatrix::zeros(4, 0),
+            DenseMatrix::zeros(5, 0),
+        ];
+        assert!(mttkrp(&x, &refs(&zero), 0).is_err());
+    }
+
+    #[test]
+    fn fourth_order_mttkrp() {
+        let x = CooTensor::from_entries(
+            Shape::new(vec![2, 3, 4, 5]),
+            vec![
+                (vec![0, 1, 2, 3], 2.0f32),
+                (vec![1, 2, 0, 0], 4.0),
+                (vec![0, 0, 0, 0], 1.0),
+            ],
+        )
+        .unwrap();
+        let f = factors(x.shape(), 3);
+        for mode in 0..4 {
+            let expect = reference(&x, &refs(&f), mode);
+            let got = mttkrp(&x, &refs(&f), mode).unwrap();
+            assert_matches(&got, &expect);
+        }
+    }
+
+    #[test]
+    fn contended_rows_accumulate_correctly() {
+        // Many nonzeros mapping to the same output row stress the atomics.
+        let entries: Vec<(Vec<u32>, f32)> = (0..5000)
+            .map(|i| (vec![0, i % 50, (i * 7) % 40], 1.0))
+            .collect();
+        let x = CooTensor::from_entries(Shape::new(vec![1, 50, 40]), entries).unwrap();
+        let f = factors(x.shape(), 8);
+        let expect = reference(&x, &refs(&f), 0);
+        let got = mttkrp_atomic(&x, &refs(&f), 0).unwrap();
+        for (a, b) in got.data().iter().zip(expect.data()) {
+            assert!(approx_eq(*a as f64, *b, 1e-3), "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Ts — tensor–scalar operations (paper §2.2).
+//!
+//! One loop over the nonzero values; the output pattern equals the input
+//! pattern, so pre-processing only clones the index arrays. The paper
+//! implements Tsa and Tsm ("sufficient to support them all"); this module
+//! supports all four operations, with division by a zero scalar reported as
+//! an error rather than silently producing infinities.
+
+use rayon::prelude::*;
+
+use crate::coo::CooTensor;
+use crate::error::{Result, TensorError};
+use crate::hicoo::HicooTensor;
+use crate::scalar::Scalar;
+
+use super::EwOp;
+
+fn check_scalar<S: Scalar>(op: EwOp, s: S) -> Result<()> {
+    if op == EwOp::Div && s == S::ZERO {
+        Err(TensorError::DivisionByZero)
+    } else {
+        Ok(())
+    }
+}
+
+/// Tensor–scalar operation, parallel over nonzeros (COO-Ts-OMP).
+pub fn ts<S: Scalar>(x: &CooTensor<S>, s: S, op: EwOp) -> Result<CooTensor<S>> {
+    check_scalar(op, s)?;
+    let vals: Vec<S> = x
+        .vals()
+        .par_iter()
+        .with_min_len(1024)
+        .map(|&a| op.apply(a, s))
+        .collect();
+    Ok(CooTensor::from_parts_unchecked(
+        x.shape().clone(),
+        x.inds().to_vec(),
+        vals,
+        x.sort_state().clone(),
+    ))
+}
+
+/// Sequential tensor–scalar baseline.
+pub fn ts_seq<S: Scalar>(x: &CooTensor<S>, s: S, op: EwOp) -> Result<CooTensor<S>> {
+    check_scalar(op, s)?;
+    let vals: Vec<S> = x.vals().iter().map(|&a| op.apply(a, s)).collect();
+    Ok(CooTensor::from_parts_unchecked(
+        x.shape().clone(),
+        x.inds().to_vec(),
+        vals,
+        x.sort_state().clone(),
+    ))
+}
+
+/// Tensor–scalar over HiCOO (HiCOO-Ts-OMP): identical value loop, output in
+/// HiCOO with the input's block structure.
+pub fn ts_hicoo<S: Scalar>(x: &HicooTensor<S>, s: S, op: EwOp) -> Result<HicooTensor<S>> {
+    check_scalar(op, s)?;
+    let mut out = x.clone();
+    out.vals_mut()
+        .par_iter_mut()
+        .with_min_len(1024)
+        .for_each(|a| *a = op.apply(*a, s));
+    Ok(out)
+}
+
+/// In-place variant reusing the input's allocation (the form tensor methods
+/// use when the operand is a scratch tensor).
+pub fn ts_in_place<S: Scalar>(x: &mut CooTensor<S>, s: S, op: EwOp) -> Result<()> {
+    check_scalar(op, s)?;
+    x.vals_mut()
+        .par_iter_mut()
+        .with_min_len(1024)
+        .for_each(|a| *a = op.apply(*a, s));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::shape::Shape;
+
+    use super::*;
+
+    fn sample() -> CooTensor<f32> {
+        CooTensor::from_entries(
+            Shape::new(vec![4, 4, 4]),
+            vec![
+                (vec![0, 0, 0], 2.0),
+                (vec![1, 2, 3], 4.0),
+                (vec![3, 3, 3], -6.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_ops_apply_elementwise() {
+        let x = sample();
+        assert_eq!(ts(&x, 2.0, EwOp::Add).unwrap().vals(), &[4.0, 6.0, -4.0]);
+        assert_eq!(ts(&x, 2.0, EwOp::Sub).unwrap().vals(), &[0.0, 2.0, -8.0]);
+        assert_eq!(ts(&x, 2.0, EwOp::Mul).unwrap().vals(), &[4.0, 8.0, -12.0]);
+        assert_eq!(ts(&x, 2.0, EwOp::Div).unwrap().vals(), &[1.0, 2.0, -3.0]);
+    }
+
+    #[test]
+    fn seq_matches_parallel() {
+        let x = sample();
+        for op in [EwOp::Add, EwOp::Sub, EwOp::Mul, EwOp::Div] {
+            assert_eq!(
+                ts(&x, 3.5, op).unwrap().vals(),
+                ts_seq(&x, 3.5, op).unwrap().vals()
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_and_sort_state_preserved() {
+        let x = sample();
+        let y = ts(&x, 1.0, EwOp::Mul).unwrap();
+        assert!(x.same_pattern(&y));
+        assert_eq!(x.sort_state(), y.sort_state());
+    }
+
+    #[test]
+    fn division_by_zero_scalar_is_an_error() {
+        let x = sample();
+        assert_eq!(ts(&x, 0.0, EwOp::Div), Err(TensorError::DivisionByZero));
+    }
+
+    #[test]
+    fn hicoo_matches_coo() {
+        let x = sample();
+        let h = HicooTensor::from_coo(&x, 1).unwrap();
+        let hy = ts_hicoo(&h, 5.0, EwOp::Mul).unwrap();
+        let y = ts(&x, 5.0, EwOp::Mul).unwrap();
+        assert_eq!(hy.to_map(), y.to_map());
+        assert!(hy.same_pattern(&h));
+    }
+
+    #[test]
+    fn in_place_updates_values() {
+        let mut x = sample();
+        ts_in_place(&mut x, 10.0, EwOp::Add).unwrap();
+        assert_eq!(x.vals(), &[12.0, 14.0, 4.0]);
+    }
+}

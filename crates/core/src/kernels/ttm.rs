@@ -1,0 +1,368 @@
+//! Ttm — tensor-times-matrix (the n-mode product, paper §2.4).
+//!
+//! `Y = X ×_n U` with `U ∈ R^{I_n x R}` (the paper's transposed convention
+//! so that `U`'s rows are contiguous under row-major storage). By the
+//! sparse-dense property the output is semi-sparse: mode `n` becomes dense
+//! with stripe length `R`, the other modes keep the input's fiber pattern.
+//! The output is therefore pre-allocated in sCOO (COO kernels) or sHiCOO
+//! (HiCOO kernels) with `M_F` fibers, and fibers are parallelized without
+//! races — COO-Ttm-OMP mirrors COO-Ttv-OMP (§3.2.1).
+
+use rayon::prelude::*;
+
+use crate::coo::{CooTensor, FiberPartition, SemiSparseTensor};
+use crate::dense::DenseMatrix;
+use crate::error::{Result, TensorError};
+use crate::hicoo::{GHicooTensor, GhFiberPartition, HicooTensor, SemiSparseHicooTensor};
+use crate::par::Schedule;
+use crate::scalar::Scalar;
+use crate::shape::Shape;
+
+fn check_operand<S: Scalar>(shape: &Shape, mode: usize, u: &DenseMatrix<S>) -> Result<()> {
+    shape.check_mode(mode)?;
+    if u.rows() != shape.dim(mode) as usize {
+        return Err(TensorError::OperandLengthMismatch {
+            expected: shape.dim(mode) as usize,
+            actual: u.rows(),
+        });
+    }
+    if u.cols() == 0 {
+        return Err(TensorError::OperandLengthMismatch {
+            expected: 1,
+            actual: 0,
+        });
+    }
+    Ok(())
+}
+
+/// COO-Ttm over a mode-last-sorted tensor with a precomputed fiber
+/// partition, parallel over fibers. Output in sCOO.
+pub fn ttm_prepared<S: Scalar>(
+    x: &CooTensor<S>,
+    fp: &FiberPartition,
+    u: &DenseMatrix<S>,
+    sched: Schedule,
+) -> Result<SemiSparseTensor<S>> {
+    let mode = fp.mode;
+    check_operand(x.shape(), mode, u)?;
+    if !x.sort_state().is_mode_last(x.order(), mode) {
+        return Err(TensorError::InvalidStructure(format!(
+            "Ttm requires the tensor sorted with mode {mode} innermost"
+        )));
+    }
+    let r = u.cols();
+    let mf = fp.num_fibers();
+    let out_shape = x.shape().with_mode_size(mode, r as u32)?;
+    let xv = x.vals();
+    let xk = x.mode_inds(mode);
+
+    let mut vals = vec![S::ZERO; mf * r];
+    let body = |f: usize, stripe: &mut [S]| {
+        for m in fp.fiber_range(f) {
+            let val = xv[m];
+            let urow = u.row(xk[m] as usize);
+            for (o, &uc) in stripe.iter_mut().zip(urow) {
+                *o += val * uc;
+            }
+        }
+    };
+    match sched {
+        Schedule::Static => {
+            let workers = rayon::current_num_threads().max(1);
+            let chunk = mf.div_ceil(workers).max(1);
+            vals.par_chunks_mut(chunk * r)
+                .enumerate()
+                .for_each(|(c, slice)| {
+                    for (off, stripe) in slice.chunks_mut(r).enumerate() {
+                        body(c * chunk + off, stripe);
+                    }
+                });
+        }
+        Schedule::Dynamic { grain } => {
+            vals.par_chunks_mut(r)
+                .with_min_len(grain.max(1))
+                .enumerate()
+                .for_each(|(f, stripe)| body(f, stripe));
+        }
+    }
+
+    let mut inds: Vec<Vec<u32>> = vec![Vec::new(); x.order()];
+    for (md, arr) in inds.iter_mut().enumerate() {
+        if md != mode {
+            let src = x.mode_inds(md);
+            *arr = (0..mf)
+                .into_par_iter()
+                .with_min_len(1024)
+                .map(|f| src[fp.fptr[f]])
+                .collect();
+        }
+    }
+    Ok(SemiSparseTensor::from_parts_unchecked(
+        out_shape, mode, inds, vals,
+    ))
+}
+
+/// Sequential COO-Ttm baseline.
+pub fn ttm_prepared_seq<S: Scalar>(
+    x: &CooTensor<S>,
+    fp: &FiberPartition,
+    u: &DenseMatrix<S>,
+) -> Result<SemiSparseTensor<S>> {
+    let mode = fp.mode;
+    check_operand(x.shape(), mode, u)?;
+    if !x.sort_state().is_mode_last(x.order(), mode) {
+        return Err(TensorError::InvalidStructure(format!(
+            "Ttm requires the tensor sorted with mode {mode} innermost"
+        )));
+    }
+    let r = u.cols();
+    let mf = fp.num_fibers();
+    let out_shape = x.shape().with_mode_size(mode, r as u32)?;
+    let xv = x.vals();
+    let xk = x.mode_inds(mode);
+
+    let mut vals = vec![S::ZERO; mf * r];
+    for f in 0..mf {
+        let stripe = &mut vals[f * r..(f + 1) * r];
+        for m in fp.fiber_range(f) {
+            let val = xv[m];
+            let urow = u.row(xk[m] as usize);
+            for (o, &uc) in stripe.iter_mut().zip(urow) {
+                *o += val * uc;
+            }
+        }
+    }
+    let mut inds: Vec<Vec<u32>> = vec![Vec::new(); x.order()];
+    for (md, arr) in inds.iter_mut().enumerate() {
+        if md != mode {
+            let src = x.mode_inds(md);
+            *arr = (0..mf).map(|f| src[fp.fptr[f]]).collect();
+        }
+    }
+    Ok(SemiSparseTensor::from_parts_unchecked(
+        out_shape, mode, inds, vals,
+    ))
+}
+
+/// Convenience COO-Ttm: sorts a copy if needed, computes fibers, runs the
+/// parallel kernel.
+pub fn ttm<S: Scalar>(
+    x: &CooTensor<S>,
+    u: &DenseMatrix<S>,
+    mode: usize,
+) -> Result<SemiSparseTensor<S>> {
+    check_operand(x.shape(), mode, u)?;
+    if x.sort_state().is_mode_last(x.order(), mode) {
+        let fp = x.fibers_sorted(mode)?;
+        ttm_prepared(x, &fp, u, Schedule::default())
+    } else {
+        let mut c = x.clone();
+        let fp = c.fibers(mode)?;
+        ttm_prepared(&c, &fp, u, Schedule::default())
+    }
+}
+
+/// HiCOO-Ttm over a gHiCOO tensor (product mode uncompressed) with a
+/// precomputed fiber partition. Output in sHiCOO with the input's blocks.
+pub fn ttm_ghicoo<S: Scalar>(
+    g: &GHicooTensor<S>,
+    fp: &GhFiberPartition,
+    u: &DenseMatrix<S>,
+    sched: Schedule,
+) -> Result<SemiSparseHicooTensor<S>> {
+    let mode = fp.mode;
+    check_operand(g.shape(), mode, u)?;
+    let r = u.cols();
+    let mf = fp.num_fibers();
+    let nb = g.num_blocks();
+    let out_shape = g.shape().with_mode_size(mode, r as u32)?;
+    let gv = g.vals();
+    let gk = g.find(mode);
+
+    let mut vals = vec![S::ZERO; mf * r];
+    let body = |f: usize, stripe: &mut [S]| {
+        for m in fp.fiber_range(f) {
+            let val = gv[m];
+            let urow = u.row(gk[m] as usize);
+            for (o, &uc) in stripe.iter_mut().zip(urow) {
+                *o += val * uc;
+            }
+        }
+    };
+    match sched {
+        Schedule::Static => {
+            let workers = rayon::current_num_threads().max(1);
+            let chunk = mf.div_ceil(workers).max(1);
+            vals.par_chunks_mut(chunk * r)
+                .enumerate()
+                .for_each(|(c, slice)| {
+                    for (off, stripe) in slice.chunks_mut(r).enumerate() {
+                        body(c * chunk + off, stripe);
+                    }
+                });
+        }
+        Schedule::Dynamic { grain } => {
+            vals.par_chunks_mut(r)
+                .with_min_len(grain.max(1))
+                .enumerate()
+                .for_each(|(f, stripe)| body(f, stripe));
+        }
+    }
+
+    let other_modes: Vec<usize> = (0..g.order()).filter(|&m| m != mode).collect();
+    let bptr: Vec<u64> = fp.block_fiber_ptr.iter().map(|&f| f as u64).collect();
+    let mut binds: Vec<Vec<u32>> = vec![Vec::new(); g.order()];
+    let mut einds: Vec<Vec<u8>> = vec![Vec::new(); g.order()];
+    for &md in &other_modes {
+        binds[md] = (0..nb).map(|b| g.block_ind(b, md)).collect();
+        let src = g.eind(md);
+        einds[md] = (0..mf).map(|f| src[fp.fptr[f]]).collect();
+    }
+
+    Ok(SemiSparseHicooTensor::from_parts_unchecked(
+        out_shape,
+        g.block_bits(),
+        mode,
+        bptr,
+        binds,
+        einds,
+        vals,
+    ))
+}
+
+/// Convenience HiCOO-Ttm: re-blocks into the gHiCOO layout for `mode`,
+/// computes fibers, and runs the parallel kernel.
+pub fn ttm_hicoo<S: Scalar>(
+    h: &HicooTensor<S>,
+    u: &DenseMatrix<S>,
+    mode: usize,
+) -> Result<SemiSparseHicooTensor<S>> {
+    check_operand(h.shape(), mode, u)?;
+    let g = GHicooTensor::from_coo_for_mode(&h.to_coo(), h.block_bits(), mode)?;
+    let fp = g.fibers(mode)?;
+    ttm_ghicoo(&g, &fp, u, Schedule::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use super::*;
+
+    fn sample() -> CooTensor<f32> {
+        CooTensor::from_entries(
+            Shape::new(vec![3, 4, 5]),
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 0, 2], 2.0),
+                (vec![1, 2, 1], 3.0),
+                (vec![2, 3, 0], 4.0),
+                (vec![2, 3, 4], 5.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn reference(
+        x: &CooTensor<f32>,
+        u: &DenseMatrix<f32>,
+        mode: usize,
+    ) -> BTreeMap<Vec<u32>, f64> {
+        let mut out: BTreeMap<Vec<u32>, f64> = BTreeMap::new();
+        for (c, val) in x.iter_entries() {
+            let k = c[mode] as usize;
+            for rr in 0..u.cols() {
+                let mut key = c.clone();
+                key[mode] = rr as u32;
+                *out.entry(key).or_insert(0.0) += (val * u[(k, rr)]) as f64;
+            }
+        }
+        out.retain(|_, v| *v != 0.0);
+        out
+    }
+
+    #[test]
+    fn matches_dense_reference_every_mode() {
+        let x = sample();
+        for mode in 0..3 {
+            let rows = x.shape().dim(mode) as usize;
+            let u = DenseMatrix::from_fn(rows, 4, |i, j| (i + 2 * j + 1) as f32);
+            let y = ttm(&x, &u, mode).unwrap();
+            assert_eq!(y.dense_mode(), mode);
+            assert_eq!(y.dense_size(), 4);
+            assert_eq!(y.to_map(), reference(&x, &u, mode), "mode {mode}");
+            assert!(y.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn seq_matches_parallel() {
+        let mut x = sample();
+        let fp = x.fibers(1).unwrap();
+        let u = DenseMatrix::from_fn(4, 3, |i, j| (i * 3 + j) as f32);
+        let a = ttm_prepared(&x, &fp, &u, Schedule::Static).unwrap();
+        let b = ttm_prepared_seq(&x, &fp, &u).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_fiber_count_matches_partition() {
+        let mut x = sample();
+        let fp = x.fibers(2).unwrap();
+        let u = DenseMatrix::constant(5, 2, 1.0f32);
+        let y = ttm_prepared(&x, &fp, &u, Schedule::default()).unwrap();
+        assert_eq!(y.num_fibers(), fp.num_fibers());
+        assert_eq!(y.num_values(), fp.num_fibers() * 2);
+    }
+
+    #[test]
+    fn rejects_wrong_matrix_rows() {
+        let x = sample();
+        let u = DenseMatrix::constant(4, 2, 1.0f32);
+        assert!(matches!(
+            ttm(&x, &u, 2),
+            Err(TensorError::OperandLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_columns() {
+        let x = sample();
+        let u = DenseMatrix::constant(5, 0, 1.0f32);
+        assert!(ttm(&x, &u, 2).is_err());
+    }
+
+    #[test]
+    fn hicoo_matches_coo_every_mode() {
+        let x = sample();
+        let h = HicooTensor::from_coo(&x, 1).unwrap();
+        for mode in 0..3 {
+            let rows = x.shape().dim(mode) as usize;
+            let u = DenseMatrix::from_fn(rows, 4, |i, j| (i + j + 1) as f32);
+            let y_coo = ttm(&x, &u, mode).unwrap();
+            let y_h = ttm_hicoo(&h, &u, mode).unwrap();
+            assert!(y_h.validate().is_ok(), "mode {mode}");
+            assert_eq!(y_h.to_map(), y_coo.to_map(), "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn fourth_order_ttm() {
+        let x = CooTensor::from_entries(
+            Shape::new(vec![2, 3, 4, 5]),
+            vec![
+                (vec![0, 1, 2, 3], 2.0f32),
+                (vec![0, 1, 2, 4], 3.0),
+                (vec![1, 2, 0, 0], 4.0),
+            ],
+        )
+        .unwrap();
+        let u = DenseMatrix::from_fn(3, 2, |i, j| (i + j) as f32);
+        let y = ttm(&x, &u, 1).unwrap();
+        assert_eq!(y.order(), 4);
+        let m = y.to_map();
+        // Entry (0,1,2,3): row 1 of u = [1, 2].
+        assert_eq!(m[&vec![0, 0, 2, 3]], 2.0);
+        assert_eq!(m[&vec![0, 1, 2, 3]], 4.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Parallel execution helpers — the suite's stand-in for the paper's OpenMP
+//! runtime configuration (`§5.1.2`: scheduling strategies and thread counts).
+
+use rayon::prelude::*;
+
+/// Loop scheduling strategy, mirroring OpenMP's `schedule(static)` /
+/// `schedule(dynamic, grain)` clauses that the paper tunes per kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// One contiguous range per worker thread.
+    Static,
+    /// Work-stealing chunks of at least `grain` iterations.
+    Dynamic {
+        /// Minimum chunk size handed to a worker.
+        grain: usize,
+    },
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        // Rayon's adaptive splitting behaves like guided/dynamic scheduling;
+        // a modest grain keeps per-task overhead low for short fibers.
+        Schedule::Dynamic { grain: 64 }
+    }
+}
+
+/// Run `body(i, &mut out[i])` for every element of `out` in parallel under
+/// the given schedule. This is the shape of every fiber- and nonzero-
+/// parallel loop in the suite: disjoint output slots, shared read-only
+/// inputs.
+pub fn par_for_each_indexed<T: Send, F>(out: &mut [T], sched: Schedule, body: F)
+where
+    F: Fn(usize, &mut T) + Sync + Send,
+{
+    match sched {
+        Schedule::Static => {
+            let n = out.len();
+            let workers = rayon::current_num_threads().max(1);
+            let chunk = n.div_ceil(workers).max(1);
+            out.par_chunks_mut(chunk).enumerate().for_each(|(c, slice)| {
+                let base = c * chunk;
+                for (off, item) in slice.iter_mut().enumerate() {
+                    body(base + off, item);
+                }
+            });
+        }
+        Schedule::Dynamic { grain } => {
+            out.par_iter_mut()
+                .with_min_len(grain.max(1))
+                .enumerate()
+                .for_each(|(i, item)| body(i, item));
+        }
+    }
+}
+
+/// Run `f` on a dedicated rayon pool with `threads` workers. Used by the
+/// harness to emulate machines with different core counts (Figure 4 vs 5).
+pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build thread pool")
+        .install(f)
+}
+
+/// Number of worker threads in the current pool.
+pub fn current_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_schedule_covers_every_index() {
+        let mut v = vec![0usize; 1000];
+        par_for_each_indexed(&mut v, Schedule::Static, |i, x| *x = i * 2);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn dynamic_schedule_covers_every_index() {
+        let mut v = vec![0usize; 1000];
+        par_for_each_indexed(&mut v, Schedule::Dynamic { grain: 16 }, |i, x| *x = i + 1);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
+    fn zero_grain_is_clamped() {
+        let mut v = vec![0u8; 10];
+        par_for_each_indexed(&mut v, Schedule::Dynamic { grain: 0 }, |_, x| *x = 1);
+        assert_eq!(v, vec![1; 10]);
+    }
+
+    #[test]
+    fn with_threads_controls_pool_size() {
+        let n = with_threads(3, current_threads);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn empty_slice_is_a_no_op() {
+        let mut v: Vec<u32> = vec![];
+        par_for_each_indexed(&mut v, Schedule::Static, |_, _| unreachable!());
+    }
+}

@@ -1,0 +1,162 @@
+//! Scalar abstraction over the value types supported by the suite.
+//!
+//! The paper reports single-precision results; the suite defaults to `f32`
+//! but every format and kernel is generic over [`Scalar`], so `f64` runs are
+//! a type parameter away.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::atomic::{AtomicF32, AtomicF64, AtomicScalar};
+
+/// Floating-point value type usable in all tensor formats and kernels.
+///
+/// Implemented for `f32` and `f64`. The associated [`Scalar::Atomic`] type
+/// provides the lock-free accumulation used by the parallel Mttkrp kernels
+/// (the Rust analogue of the paper's `omp atomic` / CUDA `atomicAdd`).
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + Debug
+    + Display
+    + PartialOrd
+    + PartialEq
+    + Default
+    + Sum
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + 'static
+{
+    /// Atomic cell with the same layout as `Self`, supporting `fetch_add`.
+    type Atomic: AtomicScalar<Value = Self>;
+
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Size of one value in bytes (4 for `f32`, 8 for `f64`); used by the
+    /// memory-traffic accounting of Table 1.
+    const BYTES: u64;
+
+    /// Lossy conversion from `f64` (used by generators and examples).
+    fn from_f64(x: f64) -> Self;
+    /// Lossy conversion to `f64` (used by analysis and error norms).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root (used by the CP-ALS fit computation).
+    fn sqrt(self) -> Self;
+    /// `true` if the value is finite (not NaN or infinity).
+    fn is_finite(self) -> bool;
+
+    /// Reinterpret a mutable value slice as a slice of atomic cells.
+    ///
+    /// This is the idiom behind the parallel Mttkrp: the output matrix is a
+    /// plain `Vec<S>` owned by one thread before and after the kernel, and is
+    /// viewed atomically only for the duration of the parallel region.
+    fn as_atomic_slice(slice: &mut [Self]) -> &[Self::Atomic] {
+        Self::Atomic::from_mut_slice(slice)
+    }
+}
+
+impl Scalar for f32 {
+    type Atomic = AtomicF32;
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: u64 = 4;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl Scalar for f64 {
+    type Atomic = AtomicF64;
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: u64 = 8;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+/// Relative comparison helper used by tests: `|a - b| <= tol * max(1, |a|, |b|)`.
+pub fn approx_eq<S: Scalar>(a: S, b: S, tol: f64) -> bool {
+    let (a, b) = (a.to_f64(), b.to_f64());
+    let scale = 1.0_f64.max(a.abs()).max(b.abs());
+    (a - b).abs() <= tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_round_trip() {
+        assert_eq!(f32::ZERO + f32::ONE, 1.0f32);
+        assert_eq!(f64::from_f64(2.5).to_f64(), 2.5);
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(f64::BYTES, 8);
+    }
+
+    #[test]
+    fn approx_eq_scales_with_magnitude() {
+        assert!(approx_eq(1.0e6f32, 1.0e6 + 0.5, 1e-6));
+        assert!(!approx_eq(1.0f32, 1.1, 1e-6));
+    }
+
+    #[test]
+    fn atomic_view_accumulates() {
+        let mut v = vec![0.0f32; 4];
+        {
+            let cells = f32::as_atomic_slice(&mut v);
+            cells[1].fetch_add(2.0);
+            cells[1].fetch_add(3.0);
+        }
+        assert_eq!(v, vec![0.0, 5.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Simulator-wide invariants: conservation laws the trace machinery must
+//! satisfy on real kernel launches, and the qualitative device relations
+//! the paper's GPU observations rest on.
+
+use tenbench_core::coo::CooTensor;
+use tenbench_core::dense::{DenseMatrix, DenseVector};
+use tenbench_core::hicoo::HicooTensor;
+use tenbench_core::kernels::EwOp;
+use tenbench_core::shape::Shape;
+use tenbench_gen::registry::find;
+use tenbench_gpusim::device::DeviceSpec;
+use tenbench_gpusim::kernels as gpuk;
+use tenbench_gpusim::GpuKernelStats;
+
+fn tensor(nnz: usize) -> CooTensor<f32> {
+    find("s4").unwrap().generate_with(nnz, 31)
+}
+
+fn all_stats(dev: &DeviceSpec, x: &CooTensor<f32>) -> Vec<GpuKernelStats> {
+    let y = {
+        let mut y = x.clone();
+        y.vals_mut().iter_mut().for_each(|v| *v *= 2.0);
+        y
+    };
+    let hx = HicooTensor::from_coo(x, 5).unwrap();
+    let factors: Vec<DenseMatrix<f32>> = (0..x.order())
+        .map(|m| DenseMatrix::constant(x.shape().dim(m) as usize, 16, 0.5))
+        .collect();
+    let frefs: Vec<&DenseMatrix<f32>> = factors.iter().collect();
+    let v = DenseVector::constant(x.shape().dim(2) as usize, 1.0f32);
+    vec![
+        gpuk::tew_coo_gpu(dev, x, &y, EwOp::Add).unwrap().1,
+        gpuk::ts_coo_gpu(dev, x, 1.5, EwOp::Mul).unwrap().1,
+        gpuk::ttv_coo_gpu(dev, x, &v, 2).unwrap().1,
+        gpuk::ttm_coo_gpu(dev, x, &factors[2], 2).unwrap().1,
+        gpuk::mttkrp_coo_gpu(dev, x, &frefs, 0).unwrap().1,
+        gpuk::mttkrp_hicoo_gpu(dev, &hx, &frefs, 0).unwrap().1,
+    ]
+}
+
+#[test]
+fn conservation_laws_hold_for_every_kernel() {
+    let dev = DeviceSpec::p100();
+    let x = tensor(8_000);
+    for s in all_stats(&dev, &x) {
+        // Hits plus misses equal sector touches.
+        assert_eq!(s.l2_hits + s.l2_misses, s.sectors, "{}", s.kernel);
+        // DRAM traffic is exactly the miss sectors.
+        assert_eq!(s.dram_bytes, s.l2_misses * 32, "{}", s.kernel);
+        // Modeled time is the max of its components.
+        let b = s.breakdown;
+        let expect = b.dram_s.max(b.l2_s).max(b.atomic_s).max(b.sched_s);
+        assert_eq!(s.time_s, expect, "{}", s.kernel);
+        // No kernel is free, and every one does some memory work.
+        assert!(s.time_s > 0.0 && s.sectors > 0, "{}", s.kernel);
+        // Atomics appear only in Mttkrp.
+        if s.kernel != "Mttkrp" {
+            assert_eq!(s.atomics, 0, "{}", s.kernel);
+        } else {
+            assert!(s.atomics > 0);
+            assert!(s.atomic_conflict_depth > 0);
+        }
+    }
+}
+
+#[test]
+fn traffic_scales_with_nnz() {
+    let dev = DeviceSpec::p100();
+    let small = all_stats(&dev, &tensor(4_000));
+    let large = all_stats(&dev, &tensor(16_000));
+    for (s, l) in small.iter().zip(&large) {
+        assert!(
+            l.dram_bytes > s.dram_bytes,
+            "{}: {} !> {}",
+            s.kernel,
+            l.dram_bytes,
+            s.dram_bytes
+        );
+        assert!(l.flops > s.flops, "{}", s.kernel);
+    }
+}
+
+#[test]
+fn v100_never_loses_to_p100_on_the_same_launch() {
+    let x = tensor(10_000);
+    let p = all_stats(&DeviceSpec::p100(), &x);
+    let v = all_stats(&DeviceSpec::v100(), &x);
+    for (sp, sv) in p.iter().zip(&v) {
+        assert!(
+            sv.time_s <= sp.time_s * 1.01,
+            "{} {}: V100 {} vs P100 {}",
+            sp.kernel,
+            sp.format,
+            sv.time_s,
+            sp.time_s
+        );
+    }
+}
+
+#[test]
+fn streaming_kernels_sit_on_the_dram_roofline() {
+    // Large streaming Tew: modeled bandwidth must be within a few percent
+    // of the device's DRAM bandwidth (it is the bottleneck by design).
+    let dev = DeviceSpec::v100();
+    let x = tensor(200_000);
+    let y = {
+        let mut y = x.clone();
+        y.vals_mut().iter_mut().for_each(|v| *v *= 2.0);
+        y
+    };
+    let (_, s) = gpuk::tew_coo_gpu(&dev, &x, &y, EwOp::Add).unwrap();
+    assert_eq!(s.bottleneck(), "dram");
+    let bw = s.dram_bytes as f64 / s.time_s / 1e9;
+    assert!((bw / dev.dram_bw_gbs - 1.0).abs() < 0.02, "bw {bw}");
+}
+
+#[test]
+fn hicoo_mttkrp_imbalance_shows_in_the_schedule() {
+    // On a power-law tensor the HiCOO launch must be schedule-bound while
+    // the COO launch is not slowed by imbalance.
+    let dev = DeviceSpec::p100();
+    let x = tensor(60_000);
+    let hx = HicooTensor::from_coo(&x, 7).unwrap();
+    let factors: Vec<DenseMatrix<f32>> = (0..3)
+        .map(|m| DenseMatrix::constant(x.shape().dim(m) as usize, 16, 0.5))
+        .collect();
+    let frefs: Vec<&DenseMatrix<f32>> = factors.iter().collect();
+    let (_, coo) = gpuk::mttkrp_coo_gpu(&dev, &x, &frefs, 0).unwrap();
+    let (_, hic) = gpuk::mttkrp_hicoo_gpu(&dev, &hx, &frefs, 0).unwrap();
+    assert!(hic.time_s > 2.0 * coo.time_s, "{} vs {}", hic.time_s, coo.time_s);
+    assert_eq!(hic.bottleneck(), "sched");
+}
+
+#[test]
+fn tiny_launches_do_not_explode() {
+    // Degenerate inputs: one nonzero, one fiber.
+    let dev = DeviceSpec::p100();
+    let x = CooTensor::from_entries(
+        Shape::new(vec![4, 4, 4]),
+        vec![(vec![1, 2, 3], 5.0f32)],
+    )
+    .unwrap();
+    let y = x.clone();
+    let (out, s) = gpuk::tew_coo_gpu(&dev, &x, &y, EwOp::Add).unwrap();
+    assert_eq!(out.vals()[0], 10.0);
+    assert!(s.time_s > 0.0 && s.time_s < 1e-3);
+    let v = DenseVector::constant(4, 2.0f32);
+    let (tv, _) = gpuk::ttv_coo_gpu(&dev, &x, &v, 2).unwrap();
+    assert_eq!(tv.nnz(), 1);
+    assert_eq!(tv.vals()[0], 10.0);
+}

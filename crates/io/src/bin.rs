@@ -1,0 +1,183 @@
+//! Compact binary tensor format.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic   [u8; 4] = b"TNB1"
+//! vwidth  u8           value width in bytes (4 = f32, 8 = f64)
+//! order   u8
+//! dims    [u32; order]
+//! nnz     u64
+//! inds    order arrays of nnz u32
+//! vals    nnz values (f32 or f64 bits)
+//! ```
+//!
+//! Reloading a generated tensor from this format is orders of magnitude
+//! faster than re-running the generator or re-parsing `.tns`, which matters
+//! when the harness sweeps all thirty datasets.
+
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tenbench_core::coo::CooTensor;
+use tenbench_core::scalar::Scalar;
+use tenbench_core::shape::Shape;
+
+use crate::{IoError, Result};
+
+const MAGIC: &[u8; 4] = b"TNB1";
+
+/// Serialize a tensor into the binary format.
+pub fn write_bin<S: Scalar, W: Write>(tensor: &CooTensor<S>, mut writer: W) -> Result<()> {
+    let order = tensor.order();
+    let nnz = tensor.nnz();
+    let mut buf = BytesMut::with_capacity(16 + order * 4 + nnz * (order * 4 + S::BYTES as usize));
+    buf.put_slice(MAGIC);
+    buf.put_u8(S::BYTES as u8);
+    buf.put_u8(order as u8);
+    for &d in tensor.shape().dims() {
+        buf.put_u32_le(d);
+    }
+    buf.put_u64_le(nnz as u64);
+    for m in 0..order {
+        for &i in tensor.mode_inds(m) {
+            buf.put_u32_le(i);
+        }
+    }
+    for &v in tensor.vals() {
+        match S::BYTES {
+            4 => buf.put_u32_le((v.to_f64() as f32).to_bits()),
+            _ => buf.put_u64_le(v.to_f64().to_bits()),
+        }
+    }
+    writer.write_all(&buf)?;
+    Ok(())
+}
+
+/// Deserialize a tensor from the binary format.
+pub fn read_bin<S: Scalar, R: Read>(mut reader: R) -> Result<CooTensor<S>> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+
+    let need = |buf: &Bytes, n: usize| -> Result<()> {
+        if buf.remaining() < n {
+            Err(IoError::Parse("truncated binary tensor".into()))
+        } else {
+            Ok(())
+        }
+    };
+
+    need(&buf, 6)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(IoError::Parse(format!("bad magic {magic:?}")));
+    }
+    let vwidth = buf.get_u8();
+    if vwidth as u64 != S::BYTES {
+        return Err(IoError::Parse(format!(
+            "value width {vwidth} does not match requested scalar ({} bytes)",
+            S::BYTES
+        )));
+    }
+    let order = buf.get_u8() as usize;
+    if order == 0 {
+        return Err(IoError::Parse("zero-order tensor".into()));
+    }
+    need(&buf, order * 4 + 8)?;
+    let dims: Vec<u32> = (0..order).map(|_| buf.get_u32_le()).collect();
+    if dims.contains(&0) {
+        return Err(IoError::Parse("zero dimension".into()));
+    }
+    let nnz = buf.get_u64_le() as usize;
+    need(&buf, nnz * (order * 4 + vwidth as usize))?;
+    let mut inds: Vec<Vec<u32>> = Vec::with_capacity(order);
+    for _ in 0..order {
+        inds.push((0..nnz).map(|_| buf.get_u32_le()).collect());
+    }
+    let vals: Vec<S> = (0..nnz)
+        .map(|_| match vwidth {
+            4 => S::from_f64(f32::from_bits(buf.get_u32_le()) as f64),
+            _ => S::from_f64(f64::from_bits(buf.get_u64_le())),
+        })
+        .collect();
+
+    Ok(CooTensor::from_parts(Shape::new(dims), inds, vals)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooTensor<f32> {
+        CooTensor::from_entries(
+            Shape::new(vec![10, 20, 30]),
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![9, 19, 29], -2.5),
+                (vec![3, 7, 11], 0.125),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_f32() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_bin(&t, &mut buf).unwrap();
+        let back: CooTensor<f32> = read_bin(buf.as_slice()).unwrap();
+        assert_eq!(back.shape(), t.shape());
+        assert_eq!(back.to_map(), t.to_map());
+    }
+
+    #[test]
+    fn round_trip_f64() {
+        let t = CooTensor::<f64>::from_entries(
+            Shape::new(vec![4, 4]),
+            vec![(vec![1, 2], std::f64::consts::PI)],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_bin(&t, &mut buf).unwrap();
+        let back: CooTensor<f64> = read_bin(buf.as_slice()).unwrap();
+        assert_eq!(back.vals()[0], std::f64::consts::PI);
+    }
+
+    #[test]
+    fn rejects_wrong_scalar_width() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_bin(&t, &mut buf).unwrap();
+        let r: Result<CooTensor<f64>> = read_bin(buf.as_slice());
+        assert!(matches!(r, Err(IoError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_bin(&t, &mut buf).unwrap();
+        for cut in [3usize, 10, buf.len() - 1] {
+            let r: Result<CooTensor<f32>> = read_bin(&buf[..cut]);
+            assert!(r.is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let r: Result<CooTensor<f32>> = read_bin(&b"XXXX\x04\x02"[..]);
+        assert!(matches!(r, Err(IoError::Parse(_))));
+    }
+
+    #[test]
+    fn empty_tensor_round_trips() {
+        let t = CooTensor::<f32>::empty(Shape::new(vec![5, 5]));
+        let mut buf = Vec::new();
+        write_bin(&t, &mut buf).unwrap();
+        let back: CooTensor<f32> = read_bin(buf.as_slice()).unwrap();
+        assert_eq!(back.nnz(), 0);
+        assert_eq!(back.shape().dims(), &[5, 5]);
+    }
+}

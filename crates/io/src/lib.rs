@@ -1,0 +1,64 @@
+//! # tenbench-io
+//!
+//! Tensor I/O for the `tenbench` suite:
+//!
+//! * [`tns`] — the FROSTT `.tns` text format (one 1-based coordinate tuple
+//!   plus value per line), the interchange format of the paper's dataset
+//!   collections ("the benchmark suite can be run against any set of
+//!   tensors provided that they are expressed using coordinate format").
+//! * [`bin`] — a compact little-endian binary format for fast reloads of
+//!   generated tensors.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bin;
+pub mod tns;
+
+use std::fmt;
+
+/// Errors produced by tensor readers and writers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed input (message includes the line number where relevant).
+    Parse(String),
+    /// The parsed structure was rejected by the core validators.
+    Tensor(tenbench_core::TensorError),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse(msg) => write!(f, "parse error: {msg}"),
+            IoError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Parse(_) => None,
+            IoError::Tensor(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<tenbench_core::TensorError> for IoError {
+    fn from(e: tenbench_core::TensorError) -> Self {
+        IoError::Tensor(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, IoError>;

@@ -1,0 +1,191 @@
+//! The FROSTT `.tns` text format.
+//!
+//! Each non-comment line holds one nonzero: `N` whitespace-separated
+//! 1-based indices followed by the value. Lines starting with `#` are
+//! comments. The tensor order is inferred from the first data line; the
+//! shape is either supplied by the caller or inferred as the per-mode
+//! maximum index.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use tenbench_core::coo::CooTensor;
+use tenbench_core::scalar::Scalar;
+use tenbench_core::shape::Shape;
+
+use crate::{IoError, Result};
+
+/// Read a `.tns` tensor, inferring the shape from the maximum index in each
+/// mode.
+pub fn read_tns<S: Scalar, R: Read>(reader: R) -> Result<CooTensor<S>> {
+    read_tns_impl(reader, None)
+}
+
+/// Read a `.tns` tensor against a known shape (indices are validated).
+pub fn read_tns_with_shape<S: Scalar, R: Read>(reader: R, shape: Shape) -> Result<CooTensor<S>> {
+    read_tns_impl(reader, Some(shape))
+}
+
+fn read_tns_impl<S: Scalar, R: Read>(reader: R, shape: Option<Shape>) -> Result<CooTensor<S>> {
+    let mut reader = BufReader::new(reader);
+    let mut inds: Vec<Vec<u32>> = Vec::new();
+    let mut vals: Vec<S> = Vec::new();
+    let mut order: Option<usize> = None;
+    let mut line = String::new();
+    let mut lineno = 0usize;
+
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+        if tokens.len() < 2 {
+            return Err(IoError::Parse(format!(
+                "line {lineno}: expected indices and a value, got {trimmed:?}"
+            )));
+        }
+        let n = *order.get_or_insert(tokens.len() - 1);
+        if tokens.len() != n + 1 {
+            return Err(IoError::Parse(format!(
+                "line {lineno}: expected {} tokens, got {}",
+                n + 1,
+                tokens.len()
+            )));
+        }
+        if inds.is_empty() {
+            inds = vec![Vec::new(); n];
+        }
+        for (m, tok) in tokens[..n].iter().enumerate() {
+            let idx: u64 = tok
+                .parse()
+                .map_err(|_| IoError::Parse(format!("line {lineno}: bad index {tok:?}")))?;
+            if idx == 0 {
+                return Err(IoError::Parse(format!(
+                    "line {lineno}: .tns indices are 1-based; got 0"
+                )));
+            }
+            if idx > u32::MAX as u64 {
+                return Err(IoError::Parse(format!(
+                    "line {lineno}: index {idx} exceeds 32-bit range"
+                )));
+            }
+            inds[m].push((idx - 1) as u32);
+        }
+        let v: f64 = tokens[n]
+            .parse()
+            .map_err(|_| IoError::Parse(format!("line {lineno}: bad value {:?}", tokens[n])))?;
+        vals.push(S::from_f64(v));
+    }
+
+    // An empty file is a valid (empty) tensor when the shape is known;
+    // without a shape there is nothing to infer the order from.
+    if order.is_none() {
+        return match shape {
+            Some(s) => {
+                let empty = vec![Vec::new(); s.order()];
+                Ok(CooTensor::from_parts(s, empty, vals)?)
+            }
+            None => Err(IoError::Parse("no data lines".into())),
+        };
+    }
+    let order = order.expect("checked above");
+    let shape = match shape {
+        Some(s) => s,
+        None => {
+            let dims: Vec<u32> = (0..order)
+                .map(|m| inds[m].iter().copied().max().unwrap_or(0) + 1)
+                .collect();
+            Shape::new(dims)
+        }
+    };
+    Ok(CooTensor::from_parts(shape, inds, vals)?)
+}
+
+/// Write a tensor in `.tns` format (1-based indices), with a comment header
+/// recording the shape.
+pub fn write_tns<S: Scalar, W: Write>(tensor: &CooTensor<S>, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# tenbench .tns export; shape {}", tensor.shape())?;
+    let order = tensor.order();
+    for i in 0..tensor.nnz() {
+        for m in 0..order {
+            write!(w, "{} ", tensor.mode_inds(m)[i] + 1)?;
+        }
+        writeln!(w, "{}", tensor.vals()[i])?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_file() {
+        let data = "# a comment\n1 1 1 1.5\n2 3 4 -2.0\n\n3 1 2 0.25\n";
+        let t: CooTensor<f32> = read_tns(data.as_bytes()).unwrap();
+        assert_eq!(t.order(), 3);
+        assert_eq!(t.nnz(), 3);
+        assert_eq!(t.shape().dims(), &[3, 3, 4]);
+        assert_eq!(t.to_map()[&vec![1, 2, 3]], -2.0);
+    }
+
+    #[test]
+    fn round_trip_preserves_entries() {
+        let t = CooTensor::<f32>::from_entries(
+            Shape::new(vec![5, 6, 7]),
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![4, 5, 6], 2.5),
+                (vec![2, 3, 1], -0.125),
+            ],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_tns(&t, &mut buf).unwrap();
+        let back: CooTensor<f32> =
+            read_tns_with_shape(buf.as_slice(), t.shape().clone()).unwrap();
+        assert_eq!(back.to_map(), t.to_map());
+    }
+
+    #[test]
+    fn rejects_zero_based_index() {
+        let r: Result<CooTensor<f32>> = read_tns("0 1 2 1.0\n".as_bytes());
+        assert!(matches!(r, Err(IoError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_inconsistent_arity() {
+        let r: Result<CooTensor<f32>> = read_tns("1 1 1 1.0\n1 1 2.0\n".as_bytes());
+        assert!(matches!(r, Err(IoError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_bad_tokens() {
+        let r: Result<CooTensor<f32>> = read_tns("1 x 1 1.0\n".as_bytes());
+        assert!(matches!(r, Err(IoError::Parse(_))));
+        let r2: Result<CooTensor<f32>> = read_tns("1 1 1 abc\n".as_bytes());
+        assert!(matches!(r2, Err(IoError::Parse(_))));
+        let r3: Result<CooTensor<f32>> = read_tns("1\n".as_bytes());
+        assert!(matches!(r3, Err(IoError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        let r: Result<CooTensor<f32>> = read_tns("# only comments\n".as_bytes());
+        assert!(matches!(r, Err(IoError::Parse(_))));
+    }
+
+    #[test]
+    fn shape_validation_detects_out_of_range() {
+        let r: Result<CooTensor<f32>> =
+            read_tns_with_shape("5 1 1.0\n".as_bytes(), Shape::new(vec![3, 3]));
+        assert!(matches!(r, Err(IoError::Tensor(_))));
+    }
+}

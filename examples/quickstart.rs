@@ -1,0 +1,75 @@
+//! Quickstart: build a sparse tensor, convert it between formats, and run
+//! all five benchmark kernels.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tenbench::core::hicoo::HicooTensor;
+use tenbench::core::kernels::{mttkrp, tew, ts, ttm, ttv, EwOp};
+use tenbench::prelude::*;
+
+fn main() {
+    // A small third-order tensor from explicit entries. Entries are
+    // validated, sorted, and duplicate coordinates are summed.
+    let x = CooTensor::<f32>::from_entries(
+        Shape::new(vec![8, 8, 8]),
+        vec![
+            (vec![0, 0, 0], 1.0),
+            (vec![0, 1, 2], 2.0),
+            (vec![1, 1, 1], 3.0),
+            (vec![2, 5, 7], 4.0),
+            (vec![3, 3, 3], 5.0),
+            (vec![5, 0, 2], 6.0),
+            (vec![7, 7, 7], 7.0),
+        ],
+    )
+    .expect("valid entries");
+    println!("X: {} tensor, {} nonzeros, density {:.2e}", x.shape(), x.nnz(), x.density());
+
+    // HiCOO: the same tensor in 2^2 = 4-wide blocks.
+    let h = HicooTensor::from_coo(&x, 2).expect("valid block bits");
+    println!(
+        "HiCOO: {} blocks, {} bytes (COO: {} bytes)",
+        h.num_blocks(),
+        h.storage_bytes(),
+        x.storage_bytes()
+    );
+
+    // Tew: element-wise multiply with a same-pattern partner.
+    let y = ts::ts(&x, 2.0, EwOp::Mul).expect("scalar multiply");
+    let z = tew::tew(&x, &y, EwOp::Add).expect("element-wise add");
+    println!("Tew: X + 2X has {} nonzeros; first value {}", z.nnz(), z.vals()[0]);
+
+    // Ttv: contract mode 2 with a vector.
+    let v = DenseVector::from_fn(8, |i| (i + 1) as f32);
+    let xv = ttv::ttv(&x, &v, 2).expect("ttv");
+    println!("Ttv: output order {}, {} nonzeros", xv.order(), xv.nnz());
+
+    // Ttm: multiply mode 1 by an 8x4 factor; the output is semi-sparse.
+    let u = DenseMatrix::from_fn(8, 4, |i, j| (i * 4 + j) as f32 * 0.1);
+    let xu = ttm::ttm(&x, &u, 1).expect("ttm");
+    println!(
+        "Ttm: output dense in mode {}, {} fibers x {} columns",
+        xu.dense_mode(),
+        xu.num_fibers(),
+        xu.dense_size()
+    );
+
+    // Mttkrp: the CP-decomposition workhorse.
+    let factors: Vec<DenseMatrix<f32>> =
+        (0..3).map(|_| DenseMatrix::constant(8, 4, 0.5)).collect();
+    let frefs: Vec<&DenseMatrix<f32>> = factors.iter().collect();
+    let mk = mttkrp::mttkrp(&x, &frefs, 0).expect("mttkrp");
+    println!("Mttkrp: output {}x{}, row 0 = {:?}", mk.rows(), mk.cols(), mk.row(0));
+
+    // The same kernels over HiCOO agree with COO.
+    let mk_h = mttkrp::mttkrp_hicoo(&h, &frefs, 0).expect("hicoo mttkrp");
+    let max_diff = mk
+        .data()
+        .iter()
+        .zip(mk_h.data())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("HiCOO agreement: max |COO - HiCOO| = {max_diff:.2e}");
+}

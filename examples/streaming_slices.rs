@@ -1,0 +1,60 @@
+//! Streaming analytics, FireHose-style: consume an edge-packet stream,
+//! stack windows into the slices of a third-order tensor, and use the
+//! benchmark kernels to answer stream questions (hot edges, per-window
+//! volume) — the anomaly-detection workload family the paper cites for
+//! tensors like `enron4d`.
+//!
+//! ```text
+//! cargo run --release --example streaming_slices
+//! ```
+
+use tenbench::core::dense::DenseVector;
+use tenbench::core::hicoo::HicooTensor;
+use tenbench::core::kernels::ttv;
+use tenbench::gen::stream::{stack_slices, EdgeStream};
+
+fn main() {
+    const DIM: u32 = 65_536;
+    const WINDOWS: usize = 12;
+    const PACKETS_PER_WINDOW: usize = 25_000;
+
+    let mut stream = EdgeStream::new(DIM, DIM, 1.6, 2026);
+    let x = stack_slices(&mut stream, DIM, DIM, PACKETS_PER_WINDOW, WINDOWS);
+    println!(
+        "stacked {} packets into {}: {} distinct (edge, window) entries",
+        WINDOWS * PACKETS_PER_WINDOW,
+        x.shape(),
+        x.nnz()
+    );
+
+    // Per-window packet volume: contract the edge modes with ones.
+    let ones_src = DenseVector::constant(DIM as usize, 1.0f32);
+    let by_dst_window = ttv::ttv(&x, &ones_src, 0).expect("sum over src");
+    let ones_dst = DenseVector::constant(DIM as usize, 1.0f32);
+    let by_window = ttv::ttv(&by_dst_window, &ones_dst, 0).expect("sum over dst");
+    println!("\npackets per window:");
+    for (coord, v) in by_window.iter_entries() {
+        println!("  window {:>2}: {:>7}", coord[0], v);
+    }
+
+    // Aggregate over windows (contract the slice mode) and report the
+    // hottest edges of the whole stream.
+    let ones_w = DenseVector::constant(WINDOWS, 1.0f32);
+    let totals = ttv::ttv(&x, &ones_w, 2).expect("sum over windows");
+    let mut hot: Vec<(Vec<u32>, f32)> = totals.iter_entries().collect();
+    hot.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("\nhottest edges across the stream:");
+    for (coord, count) in hot.iter().take(5) {
+        println!("  ({:>5}, {:>5}): {} packets", coord[0], coord[1], count);
+    }
+
+    // The stream tensor is block-friendly: HiCOO compresses it.
+    let h = HicooTensor::from_coo(&x, 7).expect("hicoo");
+    println!(
+        "\nstorage: COO {} bytes vs HiCOO {} bytes ({:.2}x), {} blocks",
+        x.storage_bytes(),
+        h.storage_bytes(),
+        h.storage_bytes() as f64 / x.storage_bytes() as f64,
+        h.num_blocks()
+    );
+}
