@@ -23,14 +23,16 @@ fn benches(c: &mut Criterion) {
     group.throughput(Throughput::Elements(m));
     for bits in [3u8, 4, 5, 6, 7, 8] {
         let hx = HicooTensor::from_coo(&x, bits).unwrap();
-        group.bench_function(BenchmarkId::new("mttkrp_hicoo", format!("B{}", 1u32 << bits)), |b| {
-            b.iter(|| mttkrp::mttkrp_hicoo(&hx, &frefs, mode).unwrap())
-        });
+        group.bench_function(
+            BenchmarkId::new("mttkrp_hicoo", format!("B{}", 1u32 << bits)),
+            |b| b.iter(|| mttkrp::mttkrp_hicoo(&hx, &frefs, mode).unwrap()),
+        );
         let g = GHicooTensor::from_coo_for_mode(&x, bits, mode).unwrap();
         let gfp = g.fibers(mode).unwrap();
-        group.bench_function(BenchmarkId::new("ttv_hicoo", format!("B{}", 1u32 << bits)), |b| {
-            b.iter(|| ttv::ttv_ghicoo(&g, &gfp, &v, Schedule::default()).unwrap())
-        });
+        group.bench_function(
+            BenchmarkId::new("ttv_hicoo", format!("B{}", 1u32 << bits)),
+            |b| b.iter(|| ttv::ttv_ghicoo(&g, &gfp, &v, Schedule::default()).unwrap()),
+        );
     }
     group.finish();
 }

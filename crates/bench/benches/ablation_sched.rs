@@ -1,22 +1,25 @@
 //! Ablation A3: loop scheduling. The paper uses "OpenMP ... with different
 //! scheduling strategies" per kernel; Ttv/Ttm fibers have skewed lengths on
 //! power-law tensors, which is where dynamic scheduling earns its keep.
+//! Alongside the grain sweep, this bench compares the HiCOO conversion-path
+//! Ttv/Ttm (atomic-free but serialized through a COO round trip) against the
+//! conflict-free complement-scheduled variants that assemble outputs directly.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use tenbench_bench::data::dataset_tensor;
+use tenbench_bench::data::{hicoo_fixture, BENCH_RANK};
 use tenbench_core::dense::DenseVector;
-use tenbench_core::kernels::ttv;
+use tenbench_core::kernels::{ttm, ttv, Kernel};
 use tenbench_core::par::Schedule;
-use tenbench_gen::registry::find;
+use tenbench_core::sched::{complement_schedule, mode_schedule};
 
-fn benches(c: &mut Criterion) {
-    let x = dataset_tensor(find("s4").unwrap(), 0.25);
+fn bench_grain_sweep(c: &mut Criterion) {
+    let fx = hicoo_fixture("s4", 0.25);
     // Mode 0 fibers of a power-law tensor are heavily skewed.
     let mode = 0;
-    let mut xm = x.clone();
+    let mut xm = fx.coo.clone();
     let fp = xm.fibers(mode).unwrap();
-    let v = DenseVector::constant(x.shape().dim(mode) as usize, 1.0f32);
-    let m = x.nnz() as u64;
+    let v = DenseVector::constant(fx.coo.shape().dim(mode) as usize, 1.0f32);
+    let m = fx.coo.nnz() as u64;
 
     let mut group = c.benchmark_group("ablation/sched/ttv");
     group.throughput(Throughput::Elements(2 * m));
@@ -32,6 +35,46 @@ fn benches(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+fn bench_hicoo_scheduled(c: &mut Criterion) {
+    let fx = hicoo_fixture("s4", 0.25);
+    let mode = 0;
+    let order = fx.coo.order();
+    let m = fx.coo.nnz() as u64;
+    let v = DenseVector::constant(fx.coo.shape().dim(mode) as usize, 1.0f32);
+    let u = &fx.factors[mode];
+
+    // Build the cached schedules outside the timed region, matching how the
+    // suite treats schedule construction as untimed pre-processing.
+    let _ = complement_schedule(&fx.hicoo, mode);
+    let _ = mode_schedule(&fx.hicoo, mode);
+
+    let mut group = c.benchmark_group("ablation/sched/hicoo");
+    group.throughput(Throughput::Elements(Kernel::Ttv.flops(order, m, 0)));
+    group.bench_function(BenchmarkId::new("Ttv", "convert"), |b| {
+        b.iter(|| ttv::ttv_hicoo(&fx.hicoo, &v, mode).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("Ttv", "scheduled"), |b| {
+        b.iter(|| ttv::ttv_hicoo_sched(&fx.hicoo, &v, mode).unwrap())
+    });
+    group.throughput(Throughput::Elements(Kernel::Ttm.flops(
+        order,
+        m,
+        BENCH_RANK as u64,
+    )));
+    group.bench_function(BenchmarkId::new("Ttm", "convert"), |b| {
+        b.iter(|| ttm::ttm_hicoo(&fx.hicoo, u, mode).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("Ttm", "scheduled"), |b| {
+        b.iter(|| ttm::ttm_hicoo_sched(&fx.hicoo, u, mode).unwrap())
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_grain_sweep(c);
+    bench_hicoo_scheduled(c);
 }
 
 criterion_group! {

@@ -129,8 +129,11 @@ fn append_csv(opt: &Options, figure: &str, rows: &[(String, Vec<KernelResult>)])
         .open(path)
         .expect("open --csv path");
     if fresh {
-        writeln!(f, "figure,tensor,kernel,format,gflops,time_s,oi,bound_gflops,efficiency")
-            .unwrap();
+        writeln!(
+            f,
+            "figure,tensor,kernel,format,gflops,time_s,oi,bound_gflops,efficiency"
+        )
+        .unwrap();
     }
     for (id, results) in rows {
         for r in results {
@@ -163,8 +166,16 @@ fn main() {
         "fig3" => fig3(),
         "fig4" => cpu_figure(&opt, false),
         "fig5" => cpu_figure(&opt, true),
-        "fig6" => gpu_figure(&opt, DeviceSpec::p100(), "Figure 6: DGX-1P (simulated P100)"),
-        "fig7" => gpu_figure(&opt, DeviceSpec::v100(), "Figure 7: DGX-1V (simulated V100)"),
+        "fig6" => gpu_figure(
+            &opt,
+            DeviceSpec::p100(),
+            "Figure 6: DGX-1P (simulated P100)",
+        ),
+        "fig7" => gpu_figure(
+            &opt,
+            DeviceSpec::v100(),
+            "Figure 7: DGX-1V (simulated V100)",
+        ),
         "stats" => stats_table(&opt),
         "reorder" => reorder_demo(&opt),
         "observations" => observations(&opt),
@@ -178,8 +189,16 @@ fn main() {
             fig3();
             cpu_figure(&opt, false);
             cpu_figure(&opt, true);
-            gpu_figure(&opt, DeviceSpec::p100(), "Figure 6: DGX-1P (simulated P100)");
-            gpu_figure(&opt, DeviceSpec::v100(), "Figure 7: DGX-1V (simulated V100)");
+            gpu_figure(
+                &opt,
+                DeviceSpec::p100(),
+                "Figure 6: DGX-1P (simulated P100)",
+            );
+            gpu_figure(
+                &opt,
+                DeviceSpec::v100(),
+                "Figure 7: DGX-1V (simulated V100)",
+            );
             observations(&opt);
         }
         other => {
@@ -208,7 +227,14 @@ fn table1() {
 fn table_datasets(title: &str, datasets: &[Dataset]) {
     section(title);
     let mut t = TextTable::new([
-        "No.", "Tensor", "Gen.", "Order", "Paper dims", "Paper #nnz", "Density", "Bench dims",
+        "No.",
+        "Tensor",
+        "Gen.",
+        "Order",
+        "Paper dims",
+        "Paper #nnz",
+        "Density",
+        "Bench dims",
         "Bench #nnz",
     ]);
     for d in datasets {
@@ -244,13 +270,7 @@ fn table4() {
     let p = PLATFORMS;
     let mut t = TextTable::new(["Parameter", p[0].name, p[1].name, p[2].name, p[3].name]);
     let row4 = |t: &mut TextTable, label: &str, f: &dyn Fn(usize) -> String| {
-        t.row([
-            label.to_string(),
-            f(0),
-            f(1),
-            f(2),
-            f(3),
-        ]);
+        t.row([label.to_string(), f(0), f(1), f(2), f(3)]);
     };
     row4(&mut t, "Processor", &|i| p[i].processor.to_string());
     row4(&mut t, "Microarch", &|i| p[i].microarch.to_string());
@@ -261,7 +281,9 @@ fn table4() {
     row4(&mut t, "Mem size (GiB)", &|i| fnum(p[i].mem_gib));
     row4(&mut t, "Mem type", &|i| p[i].mem_type.to_string());
     row4(&mut t, "Mem BW (GB/s)", &|i| fnum(p[i].mem_bw_gbs));
-    row4(&mut t, "ERT-DRAM (GB/s, modeled)", &|i| fnum(p[i].ert_dram_gbs));
+    row4(&mut t, "ERT-DRAM (GB/s, modeled)", &|i| {
+        fnum(p[i].ert_dram_gbs)
+    });
     row4(&mut t, "Compiler", &|i| p[i].compiler.to_string());
     println!("{}", t.render());
 }
@@ -372,7 +394,10 @@ fn fig3() {
     let mut models: Vec<Roofline> = vec![host];
     models.extend(PLATFORMS.iter().map(Roofline::from_platform));
     for r in &models {
-        println!("{} roofline (ERT-DRAM ceiling '*', upper ceiling '.'):", r.name);
+        println!(
+            "{} roofline (ERT-DRAM ceiling '*', upper ceiling '.'):",
+            r.name
+        );
         let mut plot = AsciiPlot::new(64, 14, (0.02, 64.0), (1.0, 20_000.0));
         plot.series(&r.series(r.ceilings.len() - 1, 0.02, 64.0, 64), '*');
         if r.ceilings.len() > 1 {
@@ -396,8 +421,18 @@ fn fig3() {
 fn kernel_table(title: &str, rows: &[(String, Vec<KernelResult>)]) {
     section(title);
     let mut t = TextTable::new([
-        "Tensor", "Fmt", "Tew", "Ts", "Ttv", "Ttm", "Mttkrp", "Tew eff", "Ts eff", "Ttv eff",
-        "Ttm eff", "Mttkrp eff",
+        "Tensor",
+        "Fmt",
+        "Tew",
+        "Ts",
+        "Ttv",
+        "Ttm",
+        "Mttkrp",
+        "Tew eff",
+        "Ts eff",
+        "Ttv eff",
+        "Ttm eff",
+        "Mttkrp eff",
     ]);
     for (id, results) in rows {
         for fmt in ["COO", "HiCOO"] {
@@ -419,12 +454,18 @@ fn kernel_table(title: &str, rows: &[(String, Vec<KernelResult>)]) {
         }
     }
     println!("{}", t.render());
-    println!("GFLOPS per kernel (Table 1 work / time); eff = achieved / per-tensor Roofline bound.");
+    println!(
+        "GFLOPS per kernel (Table 1 work / time); eff = achieved / per-tensor Roofline bound."
+    );
 }
 
 fn cpu_figure(opt: &Options, half_threads: bool) {
     let full = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let threads = if half_threads { (full / 2).max(1) } else { full };
+    let threads = if half_threads {
+        (full / 2).max(1)
+    } else {
+        full
+    };
     let label = if half_threads {
         format!("Figure 5: host CPU at {threads} threads (Wingtip substitute)")
     } else {
@@ -538,7 +579,12 @@ fn observations(opt: &Options) {
     for (id, res, stats) in &cpu {
         for r in res {
             if r.efficiency() > 1.0 {
-                above.push((id.clone(), r.kernel.name(), r.efficiency(), stats.nnz as u64));
+                above.push((
+                    id.clone(),
+                    r.kernel.name(),
+                    r.efficiency(),
+                    stats.nnz as u64,
+                ));
             }
         }
     }
@@ -599,7 +645,12 @@ fn observations(opt: &Options) {
         }
         num / den.max(1e-12)
     };
-    let mut t4 = TextTable::new(["Kernel", "CPU HiCOO/COO", "P100 HiCOO/COO", "V100 HiCOO/COO"]);
+    let mut t4 = TextTable::new([
+        "Kernel",
+        "CPU HiCOO/COO",
+        "P100 HiCOO/COO",
+        "V100 HiCOO/COO",
+    ]);
     for k in Kernel::ALL {
         t4.row([
             k.name().to_string(),
@@ -683,16 +734,19 @@ fn reorder_demo(opt: &Options) {
     };
     section("Reordering ablation (simulated P100, Ttv mode 0)");
     let mut t = TextTable::new([
-        "Tensor", "Labeling", "L2 hit", "Modeled time (us)", "GFLOPS",
+        "Tensor",
+        "Labeling",
+        "L2 hit",
+        "Modeled time (us)",
+        "GFLOPS",
     ]);
     let dev = DeviceSpec::p100();
     for d in &opt.datasets {
         let x = dataset_tensor(d, opt.scale);
         let mode = 0usize;
-        let v = tenbench_core::dense::DenseVector::from_fn(
-            x.shape().dim(mode) as usize,
-            |i| (i % 97) as f32 * 0.01,
-        );
+        let v = tenbench_core::dense::DenseVector::from_fn(x.shape().dim(mode) as usize, |i| {
+            (i % 97) as f32 * 0.01
+        });
         // Zipf surrogates come out frequency-ordered already, so the
         // realistic test is: shuffle the labels (as real-world ids are),
         // then let the heuristic recover the packing.
@@ -710,8 +764,7 @@ fn reorder_demo(opt: &Options) {
                 apply_mode_permutation(&mut xr, mode, &freq).unwrap();
                 vr = permute_vector(&vr, &freq).unwrap();
             }
-            let (_, s) =
-                tenbench_gpusim::kernels::ttv_coo_gpu(&dev, &xr, &vr, mode).unwrap();
+            let (_, s) = tenbench_gpusim::kernels::ttv_coo_gpu(&dev, &xr, &vr, mode).unwrap();
             t.row([
                 d.id.to_string(),
                 which.to_string(),

@@ -6,6 +6,9 @@
 //! tenbench generate <kron|pl> --dims 1024,1024,64 --nnz 100000 [--seed S] --out <file>
 //! tenbench kernel   <tew|ts|ttv|ttm|mttkrp> <file> [--mode N] [--rank R]
 //!                   [--format coo|hicoo] [--block-bits B] [--reps K]
+//!                   [--strategy seq|atomic|privatized|row_locked|scheduled]
+//! tenbench ablate-mttkrp [--dataset s4] [--nnz N] [--rank R]
+//!                   [--block-bits B] [--reps K] [--out results.json]
 //! ```
 
 use std::path::PathBuf;
@@ -93,8 +96,17 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
                 opts.get("format").map(String::as_str).unwrap_or("coo"),
                 block_bits,
                 get_usize("reps", 5)?,
+                opts.get("strategy").map(String::as_str).unwrap_or("atomic"),
             )?)
         }
-        _ => Err("usage: tenbench <convert|stats|generate|kernel> ... (see --help in the module docs)".into()),
+        Some("ablate-mttkrp") => Ok(cli::ablate_mttkrp(
+            opts.get("dataset").map(String::as_str).unwrap_or("s4"),
+            get_usize("nnz", 1_000_000)?,
+            get_usize("rank", 16)?,
+            block_bits,
+            get_usize("reps", 3)?,
+            opts.get("out").map(PathBuf::from).as_deref(),
+        )?),
+        _ => Err("usage: tenbench <convert|stats|generate|kernel|ablate-mttkrp> ... (see --help in the module docs)".into()),
     }
 }

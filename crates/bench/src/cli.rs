@@ -174,6 +174,7 @@ pub fn generate(
 }
 
 /// `kernel <name> <file> ...`: run one kernel and report GFLOPS.
+#[allow(clippy::too_many_arguments)]
 pub fn run_kernel(
     kernel: &str,
     input: &Path,
@@ -182,12 +183,34 @@ pub fn run_kernel(
     format: &str,
     block_bits: u8,
     reps: usize,
+    strategy: &str,
 ) -> CliResult<String> {
     let x = load_tensor(input)?;
-    run_kernel_on(&x, kernel, mode, rank, format, block_bits, reps)
+    run_kernel_on(&x, kernel, mode, rank, format, block_bits, reps, strategy)
+}
+
+fn parse_strategy(strategy: &str) -> CliResult<mttkrp::MttkrpStrategy> {
+    use mttkrp::MttkrpStrategy::*;
+    Ok(match strategy {
+        "seq" => Seq,
+        "atomic" => Atomic,
+        "privatized" => Privatized,
+        "row_locked" => RowLocked,
+        "scheduled" => Scheduled,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown strategy {other:?} (expected seq, atomic, privatized, row_locked, or scheduled)"
+            )))
+        }
+    })
 }
 
 /// Run one kernel on an in-memory tensor and report time/GFLOPS.
+///
+/// `strategy` selects the Mttkrp parallelization (and, for HiCOO Ttv/Ttm,
+/// `scheduled` switches to the conflict-free scheduled kernels); other
+/// kernel/format combinations ignore it.
+#[allow(clippy::too_many_arguments)]
 pub fn run_kernel_on(
     x: &CooTensor<f32>,
     kernel: &str,
@@ -196,6 +219,7 @@ pub fn run_kernel_on(
     format: &str,
     block_bits: u8,
     reps: usize,
+    strategy: &str,
 ) -> CliResult<String> {
     x.shape().check_mode(mode)?;
     let hicoo = match format {
@@ -216,9 +240,7 @@ pub fn run_kernel_on(
                 let hx = HicooTensor::from_coo(x, block_bits)?;
                 let hy = HicooTensor::from_coo(&y, block_bits)?;
                 time_avg(reps, || {
-                    std::hint::black_box(
-                        tew::tew_hicoo_same_pattern(&hx, &hy, EwOp::Add).unwrap(),
-                    );
+                    std::hint::black_box(tew::tew_hicoo_same_pattern(&hx, &hy, EwOp::Add).unwrap());
                 })
             } else {
                 time_avg(reps, || {
@@ -242,15 +264,17 @@ pub fn run_kernel_on(
         }
         "ttv" => {
             let v = DenseVector::constant(x.shape().dim(mode) as usize, 1.0f32);
-            let t = if hicoo {
-                let g = tenbench_core::hicoo::GHicooTensor::from_coo_for_mode(
-                    x, block_bits, mode,
-                )?;
+            let t = if hicoo && strategy == "scheduled" {
+                let hx = HicooTensor::from_coo(x, block_bits)?;
+                let _ = tenbench_core::sched::complement_schedule(&hx, mode); // untimed build
+                time_avg(reps, || {
+                    std::hint::black_box(ttv::ttv_hicoo_sched(&hx, &v, mode).unwrap());
+                })
+            } else if hicoo {
+                let g = tenbench_core::hicoo::GHicooTensor::from_coo_for_mode(x, block_bits, mode)?;
                 let fp = g.fibers(mode)?;
                 time_avg(reps, || {
-                    std::hint::black_box(
-                        ttv::ttv_ghicoo(&g, &fp, &v, Default::default()).unwrap(),
-                    );
+                    std::hint::black_box(ttv::ttv_ghicoo(&g, &fp, &v, Default::default()).unwrap());
                 })
             } else {
                 let mut xm = x.clone();
@@ -265,15 +289,17 @@ pub fn run_kernel_on(
         }
         "ttm" => {
             let u = DenseMatrix::constant(x.shape().dim(mode) as usize, rank, 0.5f32);
-            let t = if hicoo {
-                let g = tenbench_core::hicoo::GHicooTensor::from_coo_for_mode(
-                    x, block_bits, mode,
-                )?;
+            let t = if hicoo && strategy == "scheduled" {
+                let hx = HicooTensor::from_coo(x, block_bits)?;
+                let _ = tenbench_core::sched::complement_schedule(&hx, mode); // untimed build
+                time_avg(reps, || {
+                    std::hint::black_box(ttm::ttm_hicoo_sched(&hx, &u, mode).unwrap());
+                })
+            } else if hicoo {
+                let g = tenbench_core::hicoo::GHicooTensor::from_coo_for_mode(x, block_bits, mode)?;
                 let fp = g.fibers(mode)?;
                 time_avg(reps, || {
-                    std::hint::black_box(
-                        ttm::ttm_ghicoo(&g, &fp, &u, Default::default()).unwrap(),
-                    );
+                    std::hint::black_box(ttm::ttm_ghicoo(&g, &fp, &u, Default::default()).unwrap());
                 })
             } else {
                 let mut xm = x.clone();
@@ -289,14 +315,28 @@ pub fn run_kernel_on(
         "mttkrp" => {
             let factors = make_factors(x, rank);
             let frefs: Vec<&DenseMatrix<f32>> = factors.iter().collect();
+            let strat = parse_strategy(strategy)?;
             let t = if hicoo {
                 let hx = HicooTensor::from_coo(x, block_bits)?;
+                let run: Box<dyn Fn() -> DenseMatrix<f32>> = match strat {
+                    mttkrp::MttkrpStrategy::Seq => {
+                        Box::new(|| mttkrp::mttkrp_hicoo_seq(&hx, &frefs, mode).unwrap())
+                    }
+                    mttkrp::MttkrpStrategy::Scheduled => {
+                        let _ = tenbench_core::sched::mode_schedule(&hx, mode); // untimed build
+                        Box::new(|| mttkrp::mttkrp_hicoo_sched(&hx, &frefs, mode).unwrap())
+                    }
+                    _ => Box::new(|| mttkrp::mttkrp_hicoo(&hx, &frefs, mode).unwrap()),
+                };
                 time_avg(reps, || {
-                    std::hint::black_box(mttkrp::mttkrp_hicoo(&hx, &frefs, mode).unwrap());
+                    std::hint::black_box(run());
                 })
             } else {
+                if strat == mttkrp::MttkrpStrategy::Scheduled {
+                    let _ = tenbench_core::sched::row_schedule(x, mode); // untimed build
+                }
                 time_avg(reps, || {
-                    std::hint::black_box(mttkrp::mttkrp_atomic(x, &frefs, mode).unwrap());
+                    std::hint::black_box(mttkrp::mttkrp_with(x, &frefs, mode, strat).unwrap());
                 })
             };
             (
@@ -321,6 +361,86 @@ pub fn run_kernel_on(
         reps,
         fnum(flops as f64 / secs / 1e9)
     ))
+}
+
+/// `ablate-mttkrp`: measure every Mttkrp strategy (COO and HiCOO, atomic
+/// and scheduled) on a generated dataset, render a table, and optionally
+/// write the rows as JSON for committed benchmark artifacts.
+pub fn ablate_mttkrp(
+    dataset: &str,
+    nnz: usize,
+    rank: usize,
+    block_bits: u8,
+    reps: usize,
+    out_json: Option<&Path>,
+) -> CliResult<String> {
+    let d = tenbench_gen::registry::find(dataset)
+        .ok_or_else(|| CliError::Usage(format!("unknown dataset id {dataset:?}")))?;
+    let x = d.generate_with(nnz, d.default_seed());
+    let rows = crate::suite::run_mttkrp_ablation(&x, rank, block_bits, reps);
+    let atomic_hicoo = rows
+        .iter()
+        .find(|r| r.name == "hicoo/atomic")
+        .map(|r| r.time_s)
+        .unwrap_or(0.0);
+    let atomic_coo = rows
+        .iter()
+        .find(|r| r.name == "coo/atomic")
+        .map(|r| r.time_s)
+        .unwrap_or(0.0);
+
+    let mut tab = TextTable::new(["Strategy", "Time (s)", "Melem/s", "vs atomic"]);
+    for r in &rows {
+        let base = if r.name.starts_with("hicoo") {
+            atomic_hicoo
+        } else {
+            atomic_coo
+        };
+        tab.row([
+            r.name.clone(),
+            fnum(r.time_s),
+            fnum(r.melem_s),
+            format!("{:.2}x", base / r.time_s),
+        ]);
+    }
+    let mut out = format!(
+        "Mttkrp scheduling ablation on {dataset} ({}, {} nnz, R = {rank}, B = {}, {} threads)\n",
+        x.shape(),
+        fint(x.nnz() as u64),
+        1u32 << block_bits,
+        tenbench_core::par::current_threads(),
+    );
+    out.push_str(&tab.render());
+
+    if let Some(path) = out_json {
+        let mut json = String::from("{\n");
+        json.push_str(&format!(
+            "  \"dataset\": \"{dataset}\",\n  \"shape\": \"{}\",\n  \"nnz\": {},\n  \"rank\": {rank},\n  \"block_bits\": {block_bits},\n  \"threads\": {},\n  \"reps\": {reps},\n",
+            x.shape(),
+            x.nnz(),
+            tenbench_core::par::current_threads(),
+        ));
+        json.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let base = if r.name.starts_with("hicoo") {
+                atomic_hicoo
+            } else {
+                atomic_coo
+            };
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"time_s\": {:.6e}, \"melem_s\": {:.3}, \"speedup_vs_atomic\": {:.3}}}{}\n",
+                r.name,
+                r.time_s,
+                r.melem_s,
+                base / r.time_s,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(path, &json)?;
+        out.push_str(&format!("wrote {}\n", path.display()));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -350,9 +470,24 @@ mod tests {
         let x = tiny();
         for k in ["tew", "ts", "ttv", "ttm", "mttkrp"] {
             for f in ["coo", "hicoo"] {
-                let r = run_kernel_on(&x, k, 0, 4, f, 3, 1).unwrap();
+                let r = run_kernel_on(&x, k, 0, 4, f, 3, 1, "atomic").unwrap();
                 assert!(r.contains("GFLOPS"), "{k}/{f}: {r}");
             }
+        }
+    }
+
+    #[test]
+    fn run_kernel_on_scheduled_strategy() {
+        let x = tiny();
+        for k in ["ttv", "ttm", "mttkrp"] {
+            for f in ["coo", "hicoo"] {
+                let r = run_kernel_on(&x, k, 0, 4, f, 3, 1, "scheduled").unwrap();
+                assert!(r.contains("GFLOPS"), "{k}/{f}: {r}");
+            }
+        }
+        for s in ["seq", "privatized", "row_locked"] {
+            let r = run_kernel_on(&x, "mttkrp", 1, 4, "coo", 3, 1, s).unwrap();
+            assert!(r.contains("GFLOPS"), "{s}: {r}");
         }
     }
 
@@ -360,16 +495,36 @@ mod tests {
     fn run_kernel_rejects_bad_input() {
         let x = tiny();
         assert!(matches!(
-            run_kernel_on(&x, "nope", 0, 4, "coo", 3, 1),
+            run_kernel_on(&x, "nope", 0, 4, "coo", 3, 1, "atomic"),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            run_kernel_on(&x, "ttv", 0, 4, "csr", 3, 1),
+            run_kernel_on(&x, "ttv", 0, 4, "csr", 3, 1, "atomic"),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            run_kernel_on(&x, "ttv", 9, 4, "coo", 3, 1),
+            run_kernel_on(&x, "ttv", 9, 4, "coo", 3, 1, "atomic"),
             Err(CliError::Tensor(_))
+        ));
+        assert!(matches!(
+            run_kernel_on(&x, "mttkrp", 0, 4, "coo", 3, 1, "speculative"),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn ablate_mttkrp_writes_json() {
+        let dir = std::env::temp_dir().join("tenbench-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("ablate.json");
+        let r = ablate_mttkrp("s4", 3_000, 4, 3, 1, Some(&json)).unwrap();
+        assert!(r.contains("hicoo/scheduled"), "{r}");
+        let body = std::fs::read_to_string(&json).unwrap();
+        assert!(body.contains("\"speedup_vs_atomic\""));
+        assert!(body.contains("coo/privatized"));
+        assert!(matches!(
+            ablate_mttkrp("zz99", 1_000, 4, 3, 1, None),
+            Err(CliError::Usage(_))
         ));
     }
 

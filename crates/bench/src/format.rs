@@ -77,7 +77,10 @@ pub struct AsciiPlot {
 impl AsciiPlot {
     /// Create a plot with log-scaled axes over the given ranges.
     pub fn new(width: usize, height: usize, x_range: (f64, f64), y_range: (f64, f64)) -> Self {
-        assert!(x_range.0 > 0.0 && y_range.0 > 0.0, "log axes need positive ranges");
+        assert!(
+            x_range.0 > 0.0 && y_range.0 > 0.0,
+            "log axes need positive ranges"
+        );
         AsciiPlot {
             width,
             height,

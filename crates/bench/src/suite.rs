@@ -161,20 +161,48 @@ pub fn run_cpu_suite(
     let t = time_avg(reps, || {
         std::hint::black_box(tew::tew_same_pattern(x, &y, EwOp::Add).unwrap());
     });
-    push(&mut out, Kernel::Tew, "COO", t, Kernel::Tew.flops(order, m, 0), bounds::tew_bound(m, bw, peak));
+    push(
+        &mut out,
+        Kernel::Tew,
+        "COO",
+        t,
+        Kernel::Tew.flops(order, m, 0),
+        bounds::tew_bound(m, bw, peak),
+    );
     let t = time_avg(reps, || {
         std::hint::black_box(tew::tew_hicoo_same_pattern(&hx, &hy, EwOp::Add).unwrap());
     });
-    push(&mut out, Kernel::Tew, "HiCOO", t, Kernel::Tew.flops(order, m, 0), bounds::tew_bound(m, bw, peak));
+    push(
+        &mut out,
+        Kernel::Tew,
+        "HiCOO",
+        t,
+        Kernel::Tew.flops(order, m, 0),
+        bounds::tew_bound(m, bw, peak),
+    );
 
     let t = time_avg(reps, || {
         std::hint::black_box(ts::ts(x, 1.000_1, EwOp::Mul).unwrap());
     });
-    push(&mut out, Kernel::Ts, "COO", t, Kernel::Ts.flops(order, m, 0), bounds::ts_bound(m, bw, peak));
+    push(
+        &mut out,
+        Kernel::Ts,
+        "COO",
+        t,
+        Kernel::Ts.flops(order, m, 0),
+        bounds::ts_bound(m, bw, peak),
+    );
     let t = time_avg(reps, || {
         std::hint::black_box(ts::ts_hicoo(&hx, 1.000_1, EwOp::Mul).unwrap());
     });
-    push(&mut out, Kernel::Ts, "HiCOO", t, Kernel::Ts.flops(order, m, 0), bounds::ts_bound(m, bw, peak));
+    push(
+        &mut out,
+        Kernel::Ts,
+        "HiCOO",
+        t,
+        Kernel::Ts.flops(order, m, 0),
+        bounds::ts_bound(m, bw, peak),
+    );
 
     // Ttv / Ttm / Mttkrp: averaged over modes; pre-processing untimed.
     let mean_mf = stats.mean_fibers() as u64;
@@ -271,6 +299,87 @@ pub fn run_cpu_suite(
     out
 }
 
+/// One row of the Mttkrp scheduling ablation: a strategy/format pair with
+/// its per-mode-averaged kernel time.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Strategy label, e.g. `"coo/scheduled"` or `"hicoo/atomic"`.
+    pub name: String,
+    /// Average time per Mttkrp call in seconds (averaged over modes).
+    pub time_s: f64,
+    /// Throughput in millions of nonzero-updates per second
+    /// (`order * nnz * R / time`).
+    pub melem_s: f64,
+}
+
+/// Measure every COO Mttkrp strategy plus atomic and scheduled HiCOO
+/// Mttkrp on one tensor, averaged over all modes. Schedule construction is
+/// pre-warmed outside the timed region (the schedule is cached and reused
+/// across calls, matching the suite's untimed pre-processing methodology).
+pub fn run_mttkrp_ablation(
+    x: &CooTensor<f32>,
+    r: usize,
+    block_bits: u8,
+    reps: usize,
+) -> Vec<AblationRow> {
+    use tenbench_core::kernels::mttkrp::MttkrpStrategy;
+    use tenbench_core::sched;
+
+    let order = x.order();
+    let m = x.nnz() as u64;
+    let elems = (order as u64) * m * r as u64;
+    let factors = make_factors(x, r);
+    let frefs: Vec<&DenseMatrix<f32>> = factors.iter().collect();
+    let hx = HicooTensor::from_coo(x, block_bits).expect("valid block bits");
+    // Pre-warm the schedule cache for every mode.
+    for mode in 0..order {
+        let _ = sched::row_schedule(x, mode);
+        let _ = sched::mode_schedule(&hx, mode);
+    }
+
+    let n = order as f64;
+    let mut rows = Vec::new();
+    let mut push = |name: &str, total: f64| {
+        let t = total / n;
+        rows.push(AblationRow {
+            name: name.to_string(),
+            time_s: t,
+            melem_s: elems as f64 / t / 1e6,
+        });
+    };
+
+    for (name, strat) in [
+        ("coo/seq", MttkrpStrategy::Seq),
+        ("coo/atomic", MttkrpStrategy::Atomic),
+        ("coo/privatized", MttkrpStrategy::Privatized),
+        ("coo/row_locked", MttkrpStrategy::RowLocked),
+        ("coo/scheduled", MttkrpStrategy::Scheduled),
+    ] {
+        let mut total = 0.0;
+        for mode in 0..order {
+            total += time_avg(reps, || {
+                std::hint::black_box(mttkrp::mttkrp_with(x, &frefs, mode, strat).unwrap());
+            });
+        }
+        push(name, total);
+    }
+    let mut total = 0.0;
+    for mode in 0..order {
+        total += time_avg(reps, || {
+            std::hint::black_box(mttkrp::mttkrp_hicoo(&hx, &frefs, mode).unwrap());
+        });
+    }
+    push("hicoo/atomic", total);
+    let mut total = 0.0;
+    for mode in 0..order {
+        total += time_avg(reps, || {
+            std::hint::black_box(mttkrp::mttkrp_hicoo_sched(&hx, &frefs, mode).unwrap());
+        });
+    }
+    push("hicoo/scheduled", total);
+    rows
+}
+
 /// Run the full simulated GPU suite on one tensor.
 pub fn run_gpu_suite(
     x: &CooTensor<f32>,
@@ -292,7 +401,11 @@ pub fn run_gpu_suite(
     let frefs: Vec<&DenseMatrix<f32>> = factors.iter().collect();
 
     let mut out = Vec::new();
-    let mut push = |kernel: Kernel, format: &'static str, time_s: f64, flops: u64, bound: bounds::KernelBound| {
+    let mut push = |kernel: Kernel,
+                    format: &'static str,
+                    time_s: f64,
+                    flops: u64,
+                    bound: bounds::KernelBound| {
         out.push(KernelResult {
             kernel,
             format,
@@ -304,14 +417,38 @@ pub fn run_gpu_suite(
     };
 
     let (_, s) = gpuk::tew_coo_gpu(dev, x, &y, EwOp::Add).unwrap();
-    push(Kernel::Tew, "COO", s.time_s, s.flops, bounds::tew_bound(m, bw, peak));
+    push(
+        Kernel::Tew,
+        "COO",
+        s.time_s,
+        s.flops,
+        bounds::tew_bound(m, bw, peak),
+    );
     let (_, s) = gpuk::tew_hicoo_gpu(dev, &hx, &hy, EwOp::Add).unwrap();
-    push(Kernel::Tew, "HiCOO", s.time_s, s.flops, bounds::tew_bound(m, bw, peak));
+    push(
+        Kernel::Tew,
+        "HiCOO",
+        s.time_s,
+        s.flops,
+        bounds::tew_bound(m, bw, peak),
+    );
 
     let (_, s) = gpuk::ts_coo_gpu(dev, x, 1.000_1, EwOp::Mul).unwrap();
-    push(Kernel::Ts, "COO", s.time_s, s.flops, bounds::ts_bound(m, bw, peak));
+    push(
+        Kernel::Ts,
+        "COO",
+        s.time_s,
+        s.flops,
+        bounds::ts_bound(m, bw, peak),
+    );
     let (_, s) = gpuk::ts_hicoo_gpu(dev, &hx, 1.000_1, EwOp::Mul).unwrap();
-    push(Kernel::Ts, "HiCOO", s.time_s, s.flops, bounds::ts_bound(m, bw, peak));
+    push(
+        Kernel::Ts,
+        "HiCOO",
+        s.time_s,
+        s.flops,
+        bounds::ts_bound(m, bw, peak),
+    );
 
     let mean_mf = stats.mean_fibers() as u64;
     let mut ttv_t = [0.0f64; 2];
@@ -429,6 +566,29 @@ mod tests {
         for r in &res {
             assert!(r.time_s > 0.0);
             assert!(r.gflops > 0.0);
+        }
+    }
+
+    #[test]
+    fn mttkrp_ablation_covers_all_strategies() {
+        let x = small_tensor();
+        let rows = run_mttkrp_ablation(&x, 8, 4, 1);
+        let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "coo/seq",
+                "coo/atomic",
+                "coo/privatized",
+                "coo/row_locked",
+                "coo/scheduled",
+                "hicoo/atomic",
+                "hicoo/scheduled"
+            ]
+        );
+        for r in &rows {
+            assert!(r.time_s > 0.0, "{}", r.name);
+            assert!(r.melem_s > 0.0, "{}", r.name);
         }
     }
 

@@ -79,9 +79,7 @@ macro_rules! atomic_float {
                 // (IEEE-754 bit layout). The `&mut` receiver guarantees the
                 // caller holds the only reference, so converting to a shared
                 // slice of atomic cells cannot alias non-atomic accesses.
-                unsafe {
-                    std::slice::from_raw_parts(slice.as_ptr() as *const Self, slice.len())
-                }
+                unsafe { std::slice::from_raw_parts(slice.as_ptr() as *const Self, slice.len()) }
             }
         }
     };

@@ -63,7 +63,11 @@ pub(super) fn from_parts<S: Scalar>(
         }
         let dim = shape.dim(m);
         if let Some(&bad) = arr.iter().find(|&&i| i >= dim) {
-            return Err(TensorError::IndexOutOfBounds { mode: m, index: bad, dim });
+            return Err(TensorError::IndexOutOfBounds {
+                mode: m,
+                index: bad,
+                dim,
+            });
         }
     }
     Ok(CooTensor {

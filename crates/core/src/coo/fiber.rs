@@ -65,7 +65,10 @@ pub(super) fn fibers_from_sorted<S: Scalar>(
 ) -> Result<FiberPartition> {
     let m = t.nnz();
     if m == 0 {
-        return Ok(FiberPartition { mode, fptr: vec![0] });
+        return Ok(FiberPartition {
+            mode,
+            fptr: vec![0],
+        });
     }
     let inds = t.inds();
     let order = t.order();
@@ -117,11 +120,7 @@ mod tests {
     fn fibers_of_mode_zero_resort_the_tensor() {
         let mut t = CooTensor::from_entries(
             Shape::new(vec![3, 3]),
-            vec![
-                (vec![0, 1], 1.0f32),
-                (vec![1, 1], 2.0),
-                (vec![2, 0], 3.0),
-            ],
+            vec![(vec![0, 1], 1.0f32), (vec![1, 1], 2.0), (vec![2, 0], 3.0)],
         )
         .unwrap();
         // Mode-0 fibers group by column j: j=0 has 1 nnz, j=1 has 2.

@@ -119,10 +119,7 @@ mod tests {
             vec![(vec![1, 2, 3], 1.0)],
         )
         .unwrap();
-        assert!(matches!(
-            matricize(&x, 0),
-            Err(TensorError::SizeOverflow)
-        ));
+        assert!(matches!(matricize(&x, 0), Err(TensorError::SizeOverflow)));
     }
 
     #[test]

@@ -80,7 +80,12 @@ impl<S: Scalar> CooTensor<S> {
     ) -> Self {
         debug_assert_eq!(inds.len(), shape.order());
         debug_assert!(inds.iter().all(|a| a.len() == vals.len()));
-        CooTensor { shape, inds, vals, sort }
+        CooTensor {
+            shape,
+            inds,
+            vals,
+            sort,
+        }
     }
 
     /// The tensor shape.
@@ -270,7 +275,11 @@ impl<S: Scalar> CooTensor<S> {
             }
             let dim = self.shape.dim(m);
             if let Some(&bad) = arr.iter().find(|&&i| i >= dim) {
-                return Err(TensorError::IndexOutOfBounds { mode: m, index: bad, dim });
+                return Err(TensorError::IndexOutOfBounds {
+                    mode: m,
+                    index: bad,
+                    dim,
+                });
             }
         }
         Ok(())
@@ -352,29 +361,20 @@ mod tests {
         assert!(a.same_pattern(&b));
         b.vals_mut()[0] = 9.0; // values may differ
         assert!(a.same_pattern(&b));
-        let c = CooTensor::from_entries(
-            Shape::new(vec![4, 4, 4]),
-            vec![(vec![0, 0, 1], 1.0f32)],
-        )
-        .unwrap();
+        let c = CooTensor::from_entries(Shape::new(vec![4, 4, 4]), vec![(vec![0, 0, 1], 1.0f32)])
+            .unwrap();
         assert!(!a.same_pattern(&c));
     }
 
     #[test]
     fn norm_and_inner_product() {
-        let t = CooTensor::from_entries(
-            Shape::new(vec![4]),
-            vec![(vec![0], 3.0f64), (vec![2], 4.0)],
-        )
-        .unwrap();
+        let t =
+            CooTensor::from_entries(Shape::new(vec![4]), vec![(vec![0], 3.0f64), (vec![2], 4.0)])
+                .unwrap();
         assert!((t.frobenius_norm() - 5.0).abs() < 1e-12);
         // <X, X> = ||X||^2; mismatched pattern errors.
         assert_eq!(t.inner_same_pattern(&t).unwrap(), 25.0);
-        let other = CooTensor::from_entries(
-            Shape::new(vec![4]),
-            vec![(vec![1], 1.0f64)],
-        )
-        .unwrap();
+        let other = CooTensor::from_entries(Shape::new(vec![4]), vec![(vec![1], 1.0f64)]).unwrap();
         assert!(matches!(
             t.inner_same_pattern(&other),
             Err(TensorError::PatternMismatch)

@@ -119,7 +119,10 @@ impl<S: Scalar> MultiSemiSparseTensor<S> {
         }
         let r = u.cols();
         if r == 0 {
-            return Err(TensorError::OperandLengthMismatch { expected: 1, actual: 0 });
+            return Err(TensorError::OperandLengthMismatch {
+                expected: 1,
+                actual: 0,
+            });
         }
 
         let out_shape = self.shape.with_mode_size(mode, r as u32)?;
@@ -164,9 +167,8 @@ impl<S: Scalar> MultiSemiSparseTensor<S> {
         while g0 < mf {
             // Extent of this output-fiber group.
             let mut g1 = g0 + 1;
-            let same_group = |a: usize, b: usize| {
-                keep.iter().all(|&m| self.inds[m][a] == self.inds[m][b])
-            };
+            let same_group =
+                |a: usize, b: usize| keep.iter().all(|&m| self.inds[m][a] == self.inds[m][b]);
             while g1 < mf && same_group(order[g0] as usize, order[g1] as usize) {
                 g1 += 1;
             }
@@ -210,7 +212,10 @@ impl<S: Scalar> MultiSemiSparseTensor<S> {
     pub fn ttv(&self, v: &crate::dense::DenseVector<S>, mode: usize) -> Result<Self> {
         self.shape.check_mode(mode)?;
         if self.order() < 2 {
-            return Err(TensorError::OrderTooSmall { min: 2, actual: self.order() });
+            return Err(TensorError::OrderTooSmall {
+                min: 2,
+                actual: self.order(),
+            });
         }
         if v.len() != self.shape.dim(mode) as usize {
             return Err(TensorError::OperandLengthMismatch {
@@ -288,7 +293,8 @@ impl<S: Scalar> MultiSemiSparseTensor<S> {
         let mut g0 = 0usize;
         while g0 < mf {
             let mut g1 = g0 + 1;
-            let same = |a: usize, b: usize| keep.iter().all(|&m| self.inds[m][a] == self.inds[m][b]);
+            let same =
+                |a: usize, b: usize| keep.iter().all(|&m| self.inds[m][a] == self.inds[m][b]);
             while g1 < mf && same(order[g0] as usize, order[g1] as usize) {
                 g1 += 1;
             }
@@ -385,7 +391,11 @@ impl<S: Scalar> MultiSemiSparseTensor<S> {
                 }
                 let dim = self.shape.dim(m);
                 if let Some(&bad) = arr.iter().find(|&&i| i >= dim) {
-                    return Err(TensorError::IndexOutOfBounds { mode: m, index: bad, dim });
+                    return Err(TensorError::IndexOutOfBounds {
+                        mode: m,
+                        index: bad,
+                        dim,
+                    });
                 }
             }
         }
@@ -571,7 +581,10 @@ mod tests {
     fn from_scoo_agrees_with_kernel_output() {
         let x32 = CooTensor::<f32>::from_entries(
             Shape::new(vec![3, 4, 5]),
-            sample().iter_entries().map(|(c, v)| (c, v as f32)).collect(),
+            sample()
+                .iter_entries()
+                .map(|(c, v)| (c, v as f32))
+                .collect(),
         )
         .unwrap();
         let u = DenseMatrix::from_fn(5, 2, |i, j| (i + j + 1) as f32);

@@ -43,7 +43,12 @@ impl<S: Scalar> SemiSparseTensor<S> {
                 right: inds.len(),
             });
         }
-        let t = SemiSparseTensor { shape, dense_mode, inds, vals };
+        let t = SemiSparseTensor {
+            shape,
+            dense_mode,
+            inds,
+            vals,
+        };
         t.validate()?;
         Ok(t)
     }
@@ -54,7 +59,12 @@ impl<S: Scalar> SemiSparseTensor<S> {
         inds: Vec<Vec<u32>>,
         vals: Vec<S>,
     ) -> Self {
-        let t = SemiSparseTensor { shape, dense_mode, inds, vals };
+        let t = SemiSparseTensor {
+            shape,
+            dense_mode,
+            inds,
+            vals,
+        };
         debug_assert!(t.validate().is_ok());
         t
     }
@@ -197,7 +207,11 @@ impl<S: Scalar> SemiSparseTensor<S> {
             }
             let dim = self.shape.dim(m);
             if let Some(&bad) = arr.iter().find(|&&i| i >= dim) {
-                return Err(TensorError::IndexOutOfBounds { mode: m, index: bad, dim });
+                return Err(TensorError::IndexOutOfBounds {
+                    mode: m,
+                    index: bad,
+                    dim,
+                });
             }
         }
         if self.vals.len() != mf * self.dense_size() {

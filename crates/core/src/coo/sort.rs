@@ -44,9 +44,8 @@ impl SortState {
 
 /// Apply a gather permutation to every array of the tensor.
 fn apply_perm<S: Scalar>(t: &mut CooTensor<S>, perm: &[u32]) {
-    let gather_u32 = |src: &[u32]| -> Vec<u32> {
-        perm.par_iter().map(|&p| src[p as usize]).collect()
-    };
+    let gather_u32 =
+        |src: &[u32]| -> Vec<u32> { perm.par_iter().map(|&p| src[p as usize]).collect() };
     for m in 0..t.order() {
         t.inds[m] = gather_u32(&t.inds[m]);
     }
@@ -54,7 +53,11 @@ fn apply_perm<S: Scalar>(t: &mut CooTensor<S>, perm: &[u32]) {
 }
 
 pub(super) fn sort_lexicographic<S: Scalar>(t: &mut CooTensor<S>, mode_order: &[usize]) {
-    assert_eq!(mode_order.len(), t.order(), "mode order must be a permutation");
+    assert_eq!(
+        mode_order.len(),
+        t.order(),
+        "mode order must be a permutation"
+    );
     if t.sort.is_lexicographic(mode_order) {
         return;
     }
@@ -140,8 +143,6 @@ pub(super) fn sort_morton<S: Scalar>(t: &mut CooTensor<S>, block_bits: u8) {
 mod tests {
     use crate::coo::CooTensor;
     use crate::shape::Shape;
-
-    
 
     fn unsorted() -> CooTensor<f32> {
         CooTensor::from_parts(

@@ -65,8 +65,10 @@ impl<S: Scalar> CsfTensor<S> {
             let prefix = &mode_order[..=l];
             let mut s = Vec::new();
             for i in 0..m {
-                let new_node =
-                    i == 0 || prefix.iter().any(|&md| c.mode_inds(md)[i] != c.mode_inds(md)[i - 1]);
+                let new_node = i == 0
+                    || prefix
+                        .iter()
+                        .any(|&md| c.mode_inds(md)[i] != c.mode_inds(md)[i - 1]);
                 if new_node {
                     s.push(i);
                 }

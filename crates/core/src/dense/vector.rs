@@ -13,7 +13,9 @@ pub struct DenseVector<S: Scalar> {
 impl<S: Scalar> DenseVector<S> {
     /// Zero-filled vector of length `n`.
     pub fn zeros(n: usize) -> Self {
-        DenseVector { data: vec![S::ZERO; n] }
+        DenseVector {
+            data: vec![S::ZERO; n],
+        }
     }
 
     /// Vector filled with a constant.

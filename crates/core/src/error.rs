@@ -92,22 +92,34 @@ impl fmt::Display for TensorError {
                 write!(f, "mode {mode} out of range for order-{order} tensor")
             }
             TensorError::IndexOutOfBounds { mode, index, dim } => {
-                write!(f, "index {index} out of bounds for mode {mode} of size {dim}")
+                write!(
+                    f,
+                    "index {index} out of bounds for mode {mode} of size {dim}"
+                )
             }
             TensorError::OperandLengthMismatch { expected, actual } => {
-                write!(f, "operand length {actual} does not match mode size {expected}")
+                write!(
+                    f,
+                    "operand length {actual} does not match mode size {expected}"
+                )
             }
             TensorError::PatternMismatch => {
                 write!(f, "tensors do not share a nonzero pattern")
             }
             TensorError::OrderTooSmall { min, actual } => {
-                write!(f, "tensor order {actual} below minimum {min} for this operation")
+                write!(
+                    f,
+                    "tensor order {actual} below minimum {min} for this operation"
+                )
             }
             TensorError::InvalidBlockBits(b) => {
                 write!(f, "block_bits {b} outside supported range 1..=8")
             }
             TensorError::InvalidCompressionPlan { flags, order } => {
-                write!(f, "compression plan has {flags} flags for order-{order} tensor")
+                write!(
+                    f,
+                    "compression plan has {flags} flags for order-{order} tensor"
+                )
             }
             TensorError::InvalidStructure(msg) => write!(f, "invalid structure: {msg}"),
             TensorError::FactorMismatch(msg) => write!(f, "factor mismatch: {msg}"),

@@ -287,8 +287,10 @@ impl<S: Scalar> GHicooTensor<S> {
             let range = self.block_range(b);
             let start = range.start;
             for x in range {
-                let new_fiber =
-                    x == start || cmodes.iter().any(|&md| self.einds[md][x] != self.einds[md][x - 1]);
+                let new_fiber = x == start
+                    || cmodes
+                        .iter()
+                        .any(|&md| self.einds[md][x] != self.einds[md][x - 1]);
                 if new_fiber {
                     fptr.push(x);
                 }
@@ -296,7 +298,11 @@ impl<S: Scalar> GHicooTensor<S> {
         }
         block_fiber_ptr.push(fptr.len());
         fptr.push(self.nnz());
-        Ok(GhFiberPartition { mode, fptr, block_fiber_ptr })
+        Ok(GhFiberPartition {
+            mode,
+            fptr,
+            block_fiber_ptr,
+        })
     }
 
     /// Expand to COO.
@@ -338,8 +344,7 @@ impl<S: Scalar> GHicooTensor<S> {
 
     /// Check structural invariants.
     pub fn validate(&self) -> Result<()> {
-        if self.bptr.first() != Some(&0) || *self.bptr.last().unwrap_or(&0) != self.nnz() as u64
-        {
+        if self.bptr.first() != Some(&0) || *self.bptr.last().unwrap_or(&0) != self.nnz() as u64 {
             return Err(TensorError::InvalidStructure(
                 "bptr must start at 0 and end at nnz".into(),
             ));
@@ -439,6 +444,9 @@ mod tests {
         let g = GHicooTensor::from_coo_for_mode(&coo, 1, 2).unwrap();
         let nb = g.num_blocks() as u64;
         let m = g.nnz() as u64;
-        assert_eq!(g.storage_bytes(), 8 * (nb + 1) + 2 * (4 * nb + m) + 4 * m + 4 * m);
+        assert_eq!(
+            g.storage_bytes(),
+            8 * (nb + 1) + 2 * (4 * nb + m) + 4 * m + 4 * m
+        );
     }
 }

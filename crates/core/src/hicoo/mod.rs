@@ -21,7 +21,7 @@ mod ghicoo;
 pub mod morton;
 mod shicoo;
 
-pub use ghicoo::{GhFiberPartition, GHicooTensor};
+pub use ghicoo::{GHicooTensor, GhFiberPartition};
 pub use shicoo::SemiSparseHicooTensor;
 
 use std::collections::BTreeMap;
@@ -244,8 +244,7 @@ impl<S: Scalar> HicooTensor<S> {
     #[inline]
     pub fn coord_of(&self, b: usize, x: usize, buf: &mut [u32]) {
         for mode in 0..self.order() {
-            buf[mode] =
-                (self.binds[mode][b] << self.block_bits) | self.einds[mode][x] as u32;
+            buf[mode] = (self.binds[mode][b] << self.block_bits) | self.einds[mode][x] as u32;
         }
     }
 
@@ -257,10 +256,7 @@ impl<S: Scalar> HicooTensor<S> {
         for b in 0..self.num_blocks() {
             for x in self.block_range(b) {
                 for (mode, arr) in inds.iter_mut().enumerate() {
-                    arr.push(
-                        (self.binds[mode][b] << self.block_bits)
-                            | self.einds[mode][x] as u32,
-                    );
+                    arr.push((self.binds[mode][b] << self.block_bits) | self.einds[mode][x] as u32);
                 }
             }
         }
@@ -268,7 +264,9 @@ impl<S: Scalar> HicooTensor<S> {
             self.shape.clone(),
             inds,
             self.vals.clone(),
-            SortState::Morton { block_bits: self.block_bits },
+            SortState::Morton {
+                block_bits: self.block_bits,
+            },
         )
     }
 
@@ -302,8 +300,7 @@ impl<S: Scalar> HicooTensor<S> {
     /// indices below the block edge, reconstructed coordinates in bounds.
     pub fn validate(&self) -> Result<()> {
         let nb = self.num_blocks();
-        if self.bptr.first() != Some(&0) || *self.bptr.last().unwrap_or(&0) != self.nnz() as u64
-        {
+        if self.bptr.first() != Some(&0) || *self.bptr.last().unwrap_or(&0) != self.nnz() as u64 {
             return Err(TensorError::InvalidStructure(
                 "bptr must start at 0 and end at nnz".into(),
             ));
@@ -372,8 +369,9 @@ mod tests {
         // Blocks: (0,0,0) holds 4 nnz, (0,0,1) holds 1, (1,1,0) holds 1,
         // (1,1,1) holds 2.
         assert_eq!(h.num_blocks(), 4);
-        let sizes: Vec<usize> =
-            (0..h.num_blocks()).map(|b| h.block_range(b).len()).collect();
+        let sizes: Vec<usize> = (0..h.num_blocks())
+            .map(|b| h.block_range(b).len())
+            .collect();
         assert_eq!(sizes.iter().sum::<usize>(), 8);
         assert_eq!(h.max_nnz_per_block(), 4);
         assert_eq!(h.mean_nnz_per_block(), 2.0);

@@ -17,7 +17,10 @@ use std::cmp::Ordering;
 /// Panics if `coords.len() > 4` (the packed key would overflow 128 bits).
 pub fn interleave_key(coords: &[u32]) -> u128 {
     let order = coords.len();
-    assert!((1..=4).contains(&order), "packed Morton keys support order 1..=4");
+    assert!(
+        (1..=4).contains(&order),
+        "packed Morton keys support order 1..=4"
+    );
     let mut key: u128 = 0;
     for b in 0..32 {
         for (m, &c) in coords.iter().enumerate() {

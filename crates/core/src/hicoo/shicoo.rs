@@ -148,8 +148,7 @@ impl<S: Scalar> SemiSparseHicooTensor<S> {
     pub fn fiber_coord(&self, b: usize, f: usize, buf: &mut [u32]) {
         for mode in 0..self.order() {
             if mode != self.dense_mode {
-                buf[mode] =
-                    (self.binds[mode][b] << self.block_bits) | self.einds[mode][f] as u32;
+                buf[mode] = (self.binds[mode][b] << self.block_bits) | self.einds[mode][f] as u32;
             }
         }
     }

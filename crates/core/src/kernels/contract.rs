@@ -151,7 +151,10 @@ mod tests {
     fn matrix(rows: u32, cols: u32, entries: Vec<(u32, u32, f64)>) -> CooTensor<f64> {
         CooTensor::from_entries(
             Shape::new(vec![rows, cols]),
-            entries.into_iter().map(|(i, j, v)| (vec![i, j], v)).collect(),
+            entries
+                .into_iter()
+                .map(|(i, j, v)| (vec![i, j], v))
+                .collect(),
         )
         .unwrap()
     }

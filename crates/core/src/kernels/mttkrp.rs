@@ -8,10 +8,19 @@
 //!
 //! The paper's reference COO-Mttkrp-OMP parallelizes over nonzeros and
 //! protects the output with `omp atomic`; that is [`MttkrpStrategy::Atomic`]
-//! here. Two lock-avoiding alternatives are provided for the ablation study
-//! only (A2 in DESIGN.md) — the paper deliberately keeps them out of the
+//! here. Lock-avoiding alternatives are provided for the ablation study
+//! (A2 in DESIGN.md) — the paper deliberately keeps them out of the
 //! reference. HiCOO-Mttkrp-OMP (Algorithm 2) parallelizes over blocks and
 //! reuses per-block factor sub-matrices.
+//!
+//! [`MttkrpStrategy::Scheduled`] goes one step further than the paper: a
+//! precomputed output partition (see [`crate::sched`]) hands every parallel
+//! task a disjoint `&mut` stripe of the output, so the inner loop is plain
+//! scalar code — no atomics, no locks, and a fixed accumulation order that
+//! makes results bitwise-identical across runs and thread counts.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rayon::prelude::*;
 
@@ -20,7 +29,9 @@ use crate::coo::CooTensor;
 use crate::dense::DenseMatrix;
 use crate::error::{Result, TensorError};
 use crate::hicoo::HicooTensor;
+use crate::par::ScratchArena;
 use crate::scalar::Scalar;
+use crate::sched::{ModeSchedule, RowSchedule};
 use crate::shape::Shape;
 
 /// Parallelization strategy for COO Mttkrp.
@@ -36,6 +47,52 @@ pub enum MttkrpStrategy {
     Privatized,
     /// Nonzero-parallel with one mutex per output row.
     RowLocked,
+    /// Output-partitioned: nonzeros are pre-grouped by output row (cached
+    /// [`crate::sched::RowSchedule`]) so tasks own disjoint output stripes.
+    /// Atomic-free, lock-free, and bitwise-deterministic.
+    Scheduled,
+}
+
+/// Run `body` with a zeroed scratch buffer of length `r`. The common
+/// benchmark ranks get stack buffers of const length, so after inlining the
+/// rank is a compile-time constant in the hot loops (LLVM unrolls and
+/// vectorizes them); other ranks fall back to a heap buffer.
+#[inline]
+fn with_rank_scratch<S: Scalar, T>(r: usize, body: impl FnOnce(&mut [S]) -> T) -> T {
+    #[inline(always)]
+    fn fixed<S: Scalar, T, const N: usize>(body: impl FnOnce(&mut [S]) -> T) -> T {
+        let mut buf = [S::ZERO; N];
+        body(&mut buf)
+    }
+    match r {
+        4 => fixed::<S, T, 4>(body),
+        8 => fixed::<S, T, 8>(body),
+        16 => fixed::<S, T, 16>(body),
+        _ => body(&mut vec![S::ZERO; r]),
+    }
+}
+
+/// Split `data` (a row-major matrix with `r` columns) into one `&mut` slice
+/// per row range. Ranges must be ascending and non-overlapping; rows in the
+/// gaps between ranges are left untouched. Returns `(first_row, slice)`
+/// pairs.
+fn split_row_ranges<S>(
+    mut data: &mut [S],
+    r: usize,
+    ranges: impl Iterator<Item = Range<usize>>,
+) -> Vec<(usize, &mut [S])> {
+    let mut tasks = Vec::new();
+    let mut row = 0usize;
+    for range in ranges {
+        debug_assert!(range.start >= row && range.end >= range.start);
+        let rest = std::mem::take(&mut data);
+        let rest = &mut rest[(range.start - row) * r..];
+        let (task, rest) = rest.split_at_mut((range.end - range.start) * r);
+        data = rest;
+        row = range.end;
+        tasks.push((range.start, task));
+    }
+    tasks
 }
 
 fn check_factors<S: Scalar>(
@@ -129,22 +186,30 @@ pub fn mttkrp_atomic<S: Scalar>(
         let rows = x.mode_inds(mode);
         let m = x.nnz();
         let grain = 1024usize;
+        let arena = ScratchArena::new(|| vec![S::ZERO; r]);
         (0..m.div_ceil(grain)).into_par_iter().for_each(|c| {
-            let mut scratch = vec![S::ZERO; r];
-            let end = ((c + 1) * grain).min(m);
-            for z in c * grain..end {
-                scale_rows(x, factors, mode, z, &mut scratch);
-                let base = rows[z] as usize * r;
-                for (k, &s) in scratch.iter().enumerate() {
-                    cells[base + k].fetch_add(s);
+            arena.with(|scratch| {
+                let end = ((c + 1) * grain).min(m);
+                for z in c * grain..end {
+                    scale_rows(x, factors, mode, z, scratch);
+                    let base = rows[z] as usize * r;
+                    for (k, &s) in scratch.iter().enumerate() {
+                        cells[base + k].fetch_add(s);
+                    }
                 }
-            }
+            });
         });
     }
     Ok(out)
 }
 
 /// Nonzero-parallel COO Mttkrp with per-worker private outputs (ablation).
+///
+/// Each *participating worker* (not each fold chunk, as in the seed) lazily
+/// allocates exactly one private `I_n x R` accumulator and drains chunks
+/// from a shared counter, so scratch memory scales with the thread count.
+/// The partial outputs are then summed in parallel over disjoint stripes of
+/// the final matrix.
 pub fn mttkrp_privatized<S: Scalar>(
     x: &CooTensor<S>,
     factors: &[&DenseMatrix<S>],
@@ -155,30 +220,45 @@ pub fn mttkrp_privatized<S: Scalar>(
     let rows = x.mode_inds(mode);
     let m = x.nnz();
     let grain = 4096usize;
-    let partials: Vec<DenseMatrix<S>> = (0..m.div_ceil(grain))
-        .into_par_iter()
-        .fold(
-            || DenseMatrix::zeros(rows_n, r),
-            |mut local, c| {
-                let mut scratch = vec![S::ZERO; r];
-                let end = ((c + 1) * grain).min(m);
-                for z in c * grain..end {
-                    scale_rows(x, factors, mode, z, &mut scratch);
-                    let dst = local.row_mut(rows[z] as usize);
-                    for (d, &s) in dst.iter_mut().zip(&scratch) {
-                        *d += s;
-                    }
+    let nchunks = m.div_ceil(grain);
+    let next = AtomicUsize::new(0);
+    let partials: Vec<DenseMatrix<S>> = rayon::broadcast(|_ctx| {
+        let mut local: Option<DenseMatrix<S>> = None;
+        let mut scratch = vec![S::ZERO; r];
+        loop {
+            let c = next.fetch_add(1, Ordering::Relaxed);
+            if c >= nchunks {
+                break;
+            }
+            let acc = local.get_or_insert_with(|| DenseMatrix::zeros(rows_n, r));
+            let end = ((c + 1) * grain).min(m);
+            for z in c * grain..end {
+                scale_rows(x, factors, mode, z, &mut scratch);
+                let dst = acc.row_mut(rows[z] as usize);
+                for (d, &s) in dst.iter_mut().zip(&scratch) {
+                    *d += s;
                 }
-                local
-            },
-        )
-        .collect();
-    let mut out = DenseMatrix::zeros(rows_n, r);
-    for p in partials {
-        for (d, &s) in out.data_mut().iter_mut().zip(p.data()) {
-            *d += s;
+            }
         }
-    }
+        local
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    let mut out = DenseMatrix::zeros(rows_n, r);
+    let stripe = 4096usize;
+    out.data_mut()
+        .par_chunks_mut(stripe)
+        .enumerate()
+        .for_each(|(ci, dst)| {
+            let base = ci * stripe;
+            for p in &partials {
+                let src = &p.data()[base..base + dst.len()];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
+            }
+        });
     Ok(out)
 }
 
@@ -196,21 +276,79 @@ pub fn mttkrp_row_locked<S: Scalar>(
     let rows = x.mode_inds(mode);
     let m = x.nnz();
     let grain = 1024usize;
+    let arena = ScratchArena::new(|| vec![S::ZERO; r]);
     (0..m.div_ceil(grain)).into_par_iter().for_each(|c| {
-        let mut scratch = vec![S::ZERO; r];
-        let end = ((c + 1) * grain).min(m);
-        for z in c * grain..end {
-            scale_rows(x, factors, mode, z, &mut scratch);
-            let mut row = locked[rows[z] as usize].lock();
-            for (d, &s) in row.iter_mut().zip(&scratch) {
-                *d += s;
+        arena.with(|scratch| {
+            let end = ((c + 1) * grain).min(m);
+            for z in c * grain..end {
+                scale_rows(x, factors, mode, z, scratch);
+                let mut row = locked[rows[z] as usize].lock();
+                for (d, &s) in row.iter_mut().zip(&*scratch) {
+                    *d += s;
+                }
             }
-        }
+        });
     });
     let mut out = DenseMatrix::zeros(rows_n, r);
     for (i, cell) in locked.into_iter().enumerate() {
         out.row_mut(i).copy_from_slice(&cell.into_inner());
     }
+    Ok(out)
+}
+
+/// Output-partitioned COO Mttkrp (see [`MttkrpStrategy::Scheduled`]). Uses
+/// the cached [`crate::sched::row_schedule`] for `(x, mode)`.
+pub fn mttkrp_sched<S: Scalar>(
+    x: &CooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+) -> Result<DenseMatrix<S>> {
+    check_factors(x.shape(), factors, mode)?;
+    let sched = crate::sched::row_schedule(x, mode);
+    mttkrp_sched_with(x, factors, mode, &sched)
+}
+
+/// Output-partitioned COO Mttkrp against a prebuilt [`RowSchedule`].
+///
+/// Every task owns a contiguous output row range; within it, rows are
+/// processed in ascending order and each row's nonzeros in ascending
+/// original position, so the accumulation order — and hence the floating-
+/// point result — is identical across runs and thread counts.
+pub fn mttkrp_sched_with<S: Scalar>(
+    x: &CooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+    sched: &RowSchedule,
+) -> Result<DenseMatrix<S>> {
+    let r = check_factors(x.shape(), factors, mode)?;
+    if sched.mode() != mode {
+        return Err(TensorError::FactorMismatch(format!(
+            "schedule built for mode {}, kernel invoked for mode {mode}",
+            sched.mode()
+        )));
+    }
+    let rows_n = x.shape().dim(mode) as usize;
+    let mut out = DenseMatrix::zeros(rows_n, r);
+    let mut tasks = split_row_ranges(
+        out.data_mut(),
+        r,
+        (0..sched.num_tasks()).map(|t| sched.task_rows(t)),
+    );
+    tasks.par_iter_mut().for_each(|(row_base, slice)| {
+        let row_base = *row_base;
+        let slice = &mut **slice;
+        with_rank_scratch::<S, _>(r, |scratch| {
+            for i in row_base..row_base + slice.len() / r {
+                let dst = &mut slice[(i - row_base) * r..][..r];
+                for &z in sched.row_entries(i) {
+                    scale_rows(x, factors, mode, z as usize, scratch);
+                    for (d, &s) in dst.iter_mut().zip(&*scratch) {
+                        *d += s;
+                    }
+                }
+            }
+        });
+    });
     Ok(out)
 }
 
@@ -226,6 +364,7 @@ pub fn mttkrp_with<S: Scalar>(
         MttkrpStrategy::Atomic => mttkrp_atomic(x, factors, mode),
         MttkrpStrategy::Privatized => mttkrp_privatized(x, factors, mode),
         MttkrpStrategy::RowLocked => mttkrp_row_locked(x, factors, mode),
+        MttkrpStrategy::Scheduled => mttkrp_sched(x, factors, mode),
     }
 }
 
@@ -272,31 +411,109 @@ pub fn mttkrp_hicoo<S: Scalar>(
     {
         let cells = S::as_atomic_slice(out.data_mut());
         let order = h.order();
+        let arena = ScratchArena::new(|| (vec![S::ZERO; r], vec![0usize; order]));
         (0..h.num_blocks()).into_par_iter().for_each(|b| {
-            let mut scratch = vec![S::ZERO; r];
-            // Base row offsets of this block in every factor matrix.
-            let base: Vec<usize> = (0..order)
-                .map(|m| (h.block_ind(b, m) as usize) << bits)
-                .collect();
-            for z in h.block_range(b) {
-                let val = h.vals()[z];
-                scratch.fill(val);
-                for (m, f) in factors.iter().enumerate() {
-                    if m == mode {
-                        continue;
+            arena.with(|(scratch, base)| {
+                // Base row offsets of this block in every factor matrix.
+                for m in 0..order {
+                    base[m] = (h.block_ind(b, m) as usize) << bits;
+                }
+                for z in h.block_range(b) {
+                    let val = h.vals()[z];
+                    scratch.fill(val);
+                    for (m, f) in factors.iter().enumerate() {
+                        if m == mode {
+                            continue;
+                        }
+                        let row = f.row(base[m] + h.einds()[m][z] as usize);
+                        for (s, &c) in scratch.iter_mut().zip(row) {
+                            *s *= c;
+                        }
                     }
-                    let row = f.row(base[m] + h.einds()[m][z] as usize);
-                    for (s, &c) in scratch.iter_mut().zip(row) {
-                        *s *= c;
+                    let out_row = base[mode] + h.einds()[mode][z] as usize;
+                    for (k, &s) in scratch.iter().enumerate() {
+                        cells[out_row * r + k].fetch_add(s);
                     }
                 }
-                let out_row = base[mode] + h.einds()[mode][z] as usize;
-                for (k, &s) in scratch.iter().enumerate() {
-                    cells[out_row * r + k].fetch_add(s);
+            });
+        });
+    }
+    Ok(out)
+}
+
+/// Output-partitioned HiCOO Mttkrp (the tentpole variant of this module).
+/// Uses the cached [`crate::sched::mode_schedule`] for `(h, mode)`.
+pub fn mttkrp_hicoo_sched<S: Scalar>(
+    h: &HicooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+) -> Result<DenseMatrix<S>> {
+    check_factors(h.shape(), factors, mode)?;
+    let sched = crate::sched::mode_schedule(h, mode);
+    mttkrp_hicoo_sched_with(h, factors, mode, &sched)
+}
+
+/// Output-partitioned HiCOO Mttkrp against a prebuilt [`ModeSchedule`].
+///
+/// All blocks that write a given output row block are grouped into the same
+/// task, so tasks write disjoint `&mut` stripes of the output — no atomics,
+/// no locks. Groups are visited in ascending output order, blocks ascending
+/// within a group, and nonzeros ascending within a block, fixing the
+/// floating-point accumulation order across runs and thread counts.
+pub fn mttkrp_hicoo_sched_with<S: Scalar>(
+    h: &HicooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+    sched: &ModeSchedule,
+) -> Result<DenseMatrix<S>> {
+    let r = check_factors(h.shape(), factors, mode)?;
+    if sched.mode() != mode {
+        return Err(TensorError::FactorMismatch(format!(
+            "schedule built for mode {}, kernel invoked for mode {mode}",
+            sched.mode()
+        )));
+    }
+    let rows_n = h.shape().dim(mode) as usize;
+    let mut out = DenseMatrix::zeros(rows_n, r);
+    let bits = h.block_bits();
+    let order = h.order();
+    let mut tasks = split_row_ranges(
+        out.data_mut(),
+        r,
+        (0..sched.num_tasks()).map(|t| sched.task_row_range(t, rows_n)),
+    );
+    tasks.par_iter_mut().enumerate().for_each(|(t, task)| {
+        let (row_base, slice) = (task.0, &mut *task.1);
+        with_rank_scratch::<S, _>(r, |scratch| {
+            let mut base = vec![0usize; order];
+            for g in sched.task_groups(t) {
+                for &b in sched.group_blocks(g) {
+                    let b = b as usize;
+                    for m in 0..order {
+                        base[m] = (h.block_ind(b, m) as usize) << bits;
+                    }
+                    for z in h.block_range(b) {
+                        let val = h.vals()[z];
+                        scratch.fill(val);
+                        for (m, f) in factors.iter().enumerate() {
+                            if m == mode {
+                                continue;
+                            }
+                            let row = f.row(base[m] + h.einds()[m][z] as usize);
+                            for (s, &c) in scratch.iter_mut().zip(row) {
+                                *s *= c;
+                            }
+                        }
+                        let out_row = base[mode] + h.einds()[mode][z] as usize;
+                        let dst = &mut slice[(out_row - row_base) * r..][..r];
+                        for (d, &s) in dst.iter_mut().zip(&*scratch) {
+                            *d += s;
+                        }
+                    }
                 }
             }
         });
-    }
+    });
     Ok(out)
 }
 
@@ -397,10 +614,7 @@ mod tests {
         assert_eq!(a.rows(), b.rows());
         assert_eq!(a.cols(), b.cols());
         for (x, y) in a.data().iter().zip(b.data()) {
-            assert!(
-                approx_eq(*x as f64, *y, 1e-5),
-                "mismatch: {x} vs {y}"
-            );
+            assert!(approx_eq(*x as f64, *y, 1e-5), "mismatch: {x} vs {y}");
         }
     }
 
@@ -415,6 +629,7 @@ mod tests {
                 MttkrpStrategy::Atomic,
                 MttkrpStrategy::Privatized,
                 MttkrpStrategy::RowLocked,
+                MttkrpStrategy::Scheduled,
             ] {
                 let got = mttkrp_with(&x, &refs(&f), mode, strat).unwrap();
                 assert_matches(&got, &expect);
@@ -433,7 +648,77 @@ mod tests {
             assert_matches(&got, &expect);
             let got_seq = mttkrp_hicoo_seq(&h, &refs(&f), mode).unwrap();
             assert_matches(&got_seq, &expect);
+            let got_sched = mttkrp_hicoo_sched(&h, &refs(&f), mode).unwrap();
+            assert_matches(&got_sched, &expect);
         }
+    }
+
+    #[test]
+    fn scheduled_matches_reference_on_contended_tensor() {
+        // Many nonzeros per output row exercise grouped accumulation.
+        let entries: Vec<(Vec<u32>, f32)> = (0..4000)
+            .map(|i| {
+                (
+                    vec![i % 3, (i * 7) % 50, (i * 11) % 40],
+                    (i % 9) as f32 - 4.0,
+                )
+            })
+            .collect();
+        let x = CooTensor::from_entries(Shape::new(vec![3, 50, 40]), entries).unwrap();
+        let f = factors(x.shape(), 16);
+        let h = HicooTensor::from_coo(&x, 3).unwrap();
+        for mode in 0..3 {
+            let expect = reference(&x, &refs(&f), mode);
+            assert_matches(&mttkrp_sched(&x, &refs(&f), mode).unwrap(), &expect);
+            assert_matches(&mttkrp_hicoo_sched(&h, &refs(&f), mode).unwrap(), &expect);
+        }
+    }
+
+    #[test]
+    fn scheduled_is_bitwise_deterministic() {
+        let entries: Vec<(Vec<u32>, f32)> = (0..2500)
+            .map(|i| {
+                (
+                    vec![(i * 13) % 30, (i * 7) % 30, (i * 3) % 30],
+                    0.1 * i as f32,
+                )
+            })
+            .collect();
+        let x = CooTensor::from_entries(Shape::new(vec![30, 30, 30]), entries).unwrap();
+        let f = factors(x.shape(), 8);
+        let h = HicooTensor::from_coo(&x, 2).unwrap();
+        for mode in 0..3 {
+            let a = mttkrp_sched(&x, &refs(&f), mode).unwrap();
+            let b = crate::par::with_threads(4, || mttkrp_sched(&x, &refs(&f), mode).unwrap());
+            assert_eq!(a.data(), b.data(), "COO mode {mode} not bitwise equal");
+            let ha = mttkrp_hicoo_sched(&h, &refs(&f), mode).unwrap();
+            let hb =
+                crate::par::with_threads(4, || mttkrp_hicoo_sched(&h, &refs(&f), mode).unwrap());
+            assert_eq!(ha.data(), hb.data(), "HiCOO mode {mode} not bitwise equal");
+        }
+    }
+
+    #[test]
+    fn scheduled_rejects_mode_mismatched_schedule() {
+        let x = sample();
+        let f = factors(x.shape(), 4);
+        let h = HicooTensor::from_coo(&x, 1).unwrap();
+        let s = crate::sched::mode_schedule(&h, 0);
+        assert!(mttkrp_hicoo_sched_with(&h, &refs(&f), 1, &s).is_err());
+        let rs = crate::sched::row_schedule(&x, 2);
+        assert!(mttkrp_sched_with(&x, &refs(&f), 0, &rs).is_err());
+    }
+
+    #[test]
+    fn scheduled_handles_empty_tensor() {
+        let x = CooTensor::<f32>::empty(Shape::new(vec![3, 4, 5]));
+        let f = factors(x.shape(), 4);
+        let out = mttkrp_sched(&x, &refs(&f), 0).unwrap();
+        assert!(out.data().iter().all(|&v| v == 0.0));
+        let h = HicooTensor::from_coo(&x, 2).unwrap();
+        let hout = mttkrp_hicoo_sched(&h, &refs(&f), 1).unwrap();
+        assert_eq!(hout.rows(), 4);
+        assert!(hout.data().iter().all(|&v| v == 0.0));
     }
 
     #[test]

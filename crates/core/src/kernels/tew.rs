@@ -219,7 +219,15 @@ pub fn tew_general_seq<S: Scalar>(
     }
     let mut out_inds: Vec<Vec<u32>> = vec![Vec::new(); x.order()];
     let mut out_vals: Vec<S> = Vec::new();
-    merge_range(x, 0..x.nnz(), y, 0..y.nnz(), op, &mut out_inds, &mut out_vals);
+    merge_range(
+        x,
+        0..x.nnz(),
+        y,
+        0..y.nnz(),
+        op,
+        &mut out_inds,
+        &mut out_vals,
+    );
     Ok(CooTensor::from_parts_unchecked(
         x.shape().clone(),
         out_inds,
@@ -468,8 +476,8 @@ mod tests {
     #[test]
     fn shape_mismatch_is_rejected() {
         let x = t(vec![(vec![0, 0], 1.0)]);
-        let y = CooTensor::from_entries(Shape::new(vec![4, 5]), vec![(vec![0, 0], 1.0f32)])
-            .unwrap();
+        let y =
+            CooTensor::from_entries(Shape::new(vec![4, 5]), vec![(vec![0, 0], 1.0f32)]).unwrap();
         assert!(matches!(
             tew(&x, &y, EwOp::Add),
             Err(TensorError::ShapeMismatch { .. })
@@ -478,8 +486,16 @@ mod tests {
 
     #[test]
     fn hicoo_same_pattern_matches_coo() {
-        let x = t(vec![(vec![0, 0], 6.0), (vec![1, 2], 8.0), (vec![3, 3], 1.0)]);
-        let y = t(vec![(vec![0, 0], 2.0), (vec![1, 2], 4.0), (vec![3, 3], 2.0)]);
+        let x = t(vec![
+            (vec![0, 0], 6.0),
+            (vec![1, 2], 8.0),
+            (vec![3, 3], 1.0),
+        ]);
+        let y = t(vec![
+            (vec![0, 0], 2.0),
+            (vec![1, 2], 4.0),
+            (vec![3, 3], 2.0),
+        ]);
         let hx = HicooTensor::from_coo(&x, 1).unwrap();
         let hy = HicooTensor::from_coo(&y, 1).unwrap();
         let hz = tew_hicoo_same_pattern(&hx, &hy, EwOp::Mul).unwrap();

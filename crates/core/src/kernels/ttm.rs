@@ -14,8 +14,10 @@ use crate::coo::{CooTensor, FiberPartition, SemiSparseTensor};
 use crate::dense::DenseMatrix;
 use crate::error::{Result, TensorError};
 use crate::hicoo::{GHicooTensor, GhFiberPartition, HicooTensor, SemiSparseHicooTensor};
+use crate::kernels::ttv::MAX_SCHED_ORDER;
 use crate::par::Schedule;
 use crate::scalar::Scalar;
+use crate::sched::ComplementSchedule;
 use crate::shape::Shape;
 
 fn check_operand<S: Scalar>(shape: &Shape, mode: usize, u: &DenseMatrix<S>) -> Result<()> {
@@ -243,6 +245,120 @@ pub fn ttm_hicoo<S: Scalar>(
     ttm_ghicoo(&g, &fp, u, Schedule::default())
 }
 
+/// Scheduled HiCOO-Ttm: contracts `mode` directly on the HiCOO blocks using
+/// the cached [`crate::sched::complement_schedule`], with no COO round-trip
+/// and no gHiCOO re-blocking. Tensors of order above
+/// [`MAX_SCHED_ORDER`](crate::kernels::ttv::MAX_SCHED_ORDER) fall back to
+/// [`ttm_hicoo`].
+pub fn ttm_hicoo_sched<S: Scalar>(
+    h: &HicooTensor<S>,
+    u: &DenseMatrix<S>,
+    mode: usize,
+) -> Result<SemiSparseHicooTensor<S>> {
+    check_operand(h.shape(), mode, u)?;
+    if h.order() > MAX_SCHED_ORDER {
+        return ttm_hicoo(h, u, mode);
+    }
+    let cs = crate::sched::complement_schedule(h, mode);
+    ttm_hicoo_sched_with(h, u, mode, &cs)
+}
+
+/// Scheduled HiCOO-Ttm against a prebuilt [`ComplementSchedule`]. Same
+/// group structure as [`super::ttv::ttv_hicoo_sched_with`], but every output
+/// fiber is a dense length-`R` stripe accumulated from `val * U[i_n, :]`.
+/// Groups write disjoint output blocks, so there is no synchronization and
+/// the accumulation order is fixed (bitwise-deterministic results).
+pub fn ttm_hicoo_sched_with<S: Scalar>(
+    h: &HicooTensor<S>,
+    u: &DenseMatrix<S>,
+    mode: usize,
+    cs: &ComplementSchedule,
+) -> Result<SemiSparseHicooTensor<S>> {
+    check_operand(h.shape(), mode, u)?;
+    if cs.mode() != mode {
+        return Err(TensorError::InvalidStructure(format!(
+            "schedule built for mode {}, kernel invoked for mode {mode}",
+            cs.mode()
+        )));
+    }
+    let order = h.order();
+    if order > MAX_SCHED_ORDER {
+        return Err(TensorError::InvalidStructure(format!(
+            "scheduled Ttm supports order <= {MAX_SCHED_ORDER}, got {order}"
+        )));
+    }
+    let r = u.cols();
+    let out_shape = h.shape().with_mode_size(mode, r as u32)?;
+    let other: Vec<usize> = (0..order).filter(|&m| m != mode).collect();
+    let key_width = other.len();
+    let bits = h.block_bits();
+
+    // One output block per group: fiber keys and folded `R`-stripes.
+    let groups: Vec<(Vec<u64>, Vec<S>)> = (0..cs.num_groups())
+        .into_par_iter()
+        .map(|g| {
+            let mut entries: Vec<(u64, u32, u32)> = Vec::new();
+            for &b in cs.group_blocks(g) {
+                let b = b as usize;
+                let mode_base = (h.block_ind(b, mode) as usize) << bits;
+                for z in h.block_range(b) {
+                    let mut key = 0u64;
+                    for (j, &m) in other.iter().enumerate() {
+                        key |= (h.einds()[m][z] as u64) << ((key_width - 1 - j) * 8);
+                    }
+                    let idx = mode_base + h.einds()[mode][z] as usize;
+                    entries.push((key, idx as u32, z as u32));
+                }
+            }
+            entries.sort_unstable();
+            let mut keys = Vec::new();
+            let mut vals = Vec::new();
+            let mut i = 0;
+            while i < entries.len() {
+                let key = entries[i].0;
+                let start = vals.len();
+                vals.resize(start + r, S::ZERO);
+                while i < entries.len() && entries[i].0 == key {
+                    let (_, idx, z) = entries[i];
+                    let val = h.vals()[z as usize];
+                    let urow = u.row(idx as usize);
+                    for (o, &uc) in vals[start..].iter_mut().zip(urow) {
+                        *o += val * uc;
+                    }
+                    i += 1;
+                }
+                keys.push(key);
+            }
+            (keys, vals)
+        })
+        .collect();
+
+    // Sequential assembly in group order. sHiCOO keeps full-order index
+    // arrays with the dense mode's left empty.
+    let mut bptr: Vec<u64> = Vec::with_capacity(groups.len() + 1);
+    bptr.push(0);
+    let mut binds: Vec<Vec<u32>> = vec![Vec::new(); order];
+    let mut einds: Vec<Vec<u8>> = vec![Vec::new(); order];
+    let mut vals: Vec<S> = Vec::new();
+    let mut nf = 0u64;
+    for (g, (keys, gvals)) in groups.iter().enumerate() {
+        let b0 = cs.group_blocks(g)[0] as usize;
+        for (j, &m) in other.iter().enumerate() {
+            binds[m].push(h.block_ind(b0, m));
+            let shift = (key_width - 1 - j) * 8;
+            for &key in keys {
+                einds[m].push(((key >> shift) & 0xFF) as u8);
+            }
+        }
+        vals.extend_from_slice(gvals);
+        nf += keys.len() as u64;
+        bptr.push(nf);
+    }
+    Ok(SemiSparseHicooTensor::from_parts_unchecked(
+        out_shape, bits, mode, bptr, binds, einds, vals,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use std::collections::BTreeMap;
@@ -263,11 +379,7 @@ mod tests {
         .unwrap()
     }
 
-    fn reference(
-        x: &CooTensor<f32>,
-        u: &DenseMatrix<f32>,
-        mode: usize,
-    ) -> BTreeMap<Vec<u32>, f64> {
+    fn reference(x: &CooTensor<f32>, u: &DenseMatrix<f32>, mode: usize) -> BTreeMap<Vec<u32>, f64> {
         let mut out: BTreeMap<Vec<u32>, f64> = BTreeMap::new();
         for (c, val) in x.iter_entries() {
             let k = c[mode] as usize;
@@ -344,6 +456,61 @@ mod tests {
             assert!(y_h.validate().is_ok(), "mode {mode}");
             assert_eq!(y_h.to_map(), y_coo.to_map(), "mode {mode}");
         }
+    }
+
+    #[test]
+    fn sched_matches_hicoo_every_mode() {
+        let x = sample();
+        for bits in [1u8, 2, 7] {
+            let h = HicooTensor::from_coo(&x, bits).unwrap();
+            for mode in 0..3 {
+                let rows = x.shape().dim(mode) as usize;
+                let u = DenseMatrix::from_fn(rows, 4, |i, j| (i + j + 1) as f32);
+                let expect = ttm_hicoo(&h, &u, mode).unwrap();
+                let got = ttm_hicoo_sched(&h, &u, mode).unwrap();
+                assert!(got.validate().is_ok(), "bits {bits} mode {mode}");
+                assert_eq!(got.to_map(), expect.to_map(), "bits {bits} mode {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn sched_is_bitwise_deterministic() {
+        let entries: Vec<(Vec<u32>, f32)> = (0..2000)
+            .map(|i| {
+                (
+                    vec![(i * 3) % 24, (i * 7) % 24, (i * 5) % 24],
+                    0.5 * (i % 11) as f32,
+                )
+            })
+            .collect();
+        let x = CooTensor::from_entries(Shape::new(vec![24, 24, 24]), entries).unwrap();
+        let h = HicooTensor::from_coo(&x, 2).unwrap();
+        for mode in 0..3 {
+            let u = DenseMatrix::from_fn(24, 8, |i, j| (i * 8 + j) as f32 * 0.1 - 5.0);
+            let a = ttm_hicoo_sched(&h, &u, mode).unwrap();
+            let b = crate::par::with_threads(4, || ttm_hicoo_sched(&h, &u, mode).unwrap());
+            assert_eq!(a.vals(), b.vals(), "mode {mode} not bitwise equal");
+        }
+    }
+
+    #[test]
+    fn sched_handles_empty_tensor() {
+        let x = CooTensor::<f32>::empty(Shape::new(vec![4, 4, 4]));
+        let h = HicooTensor::from_coo(&x, 2).unwrap();
+        let u = DenseMatrix::constant(4, 3, 1.0f32);
+        let y = ttm_hicoo_sched(&h, &u, 0).unwrap();
+        assert_eq!(y.num_fibers(), 0);
+        assert!(y.validate().is_ok());
+    }
+
+    #[test]
+    fn sched_rejects_mode_mismatched_schedule() {
+        let x = sample();
+        let h = HicooTensor::from_coo(&x, 1).unwrap();
+        let cs = crate::sched::complement_schedule(&h, 2);
+        let u = DenseMatrix::constant(4, 2, 1.0f32);
+        assert!(ttm_hicoo_sched_with(&h, &u, 1, &cs).is_err());
     }
 
     #[test]

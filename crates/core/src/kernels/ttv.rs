@@ -18,7 +18,13 @@ use crate::error::{Result, TensorError};
 use crate::hicoo::{GHicooTensor, GhFiberPartition, HicooTensor};
 use crate::par::{par_for_each_indexed, Schedule};
 use crate::scalar::Scalar;
+use crate::sched::ComplementSchedule;
 use crate::shape::Shape;
+
+/// Largest tensor order for which the scheduled HiCOO contraction kernels
+/// can pack the `order - 1` surviving 8-bit element coordinates of a fiber
+/// into one `u64` sort key. Larger orders fall back to the re-blocking path.
+pub(crate) const MAX_SCHED_ORDER: usize = 9;
 
 fn check_operand<S: Scalar>(shape: &Shape, mode: usize, v: &DenseVector<S>) -> Result<()> {
     shape.check_mode(mode)?;
@@ -265,6 +271,120 @@ pub fn ttv_hicoo<S: Scalar>(
     ttv_ghicoo(&g, &fp, v, Schedule::default())
 }
 
+/// Scheduled HiCOO-Ttv: contracts `mode` directly on the HiCOO blocks using
+/// the cached [`crate::sched::complement_schedule`], with no COO round-trip
+/// and no gHiCOO re-blocking (the pre-processing `ttv_hicoo` pays on every
+/// call). Tensors of order above [`MAX_SCHED_ORDER`] fall back to
+/// [`ttv_hicoo`].
+pub fn ttv_hicoo_sched<S: Scalar>(
+    h: &HicooTensor<S>,
+    v: &DenseVector<S>,
+    mode: usize,
+) -> Result<HicooTensor<S>> {
+    check_operand(h.shape(), mode, v)?;
+    if h.order() > MAX_SCHED_ORDER {
+        return ttv_hicoo(h, v, mode);
+    }
+    let cs = crate::sched::complement_schedule(h, mode);
+    ttv_hicoo_sched_with(h, v, mode, &cs)
+}
+
+/// Scheduled HiCOO-Ttv against a prebuilt [`ComplementSchedule`].
+///
+/// Each schedule group collects the blocks that share every block
+/// coordinate except mode `n` — exactly the blocks whose nonzeros fold into
+/// one output block. Groups are processed fully in parallel (their outputs
+/// are disjoint by construction); within a group, fibers are identified by
+/// packing the surviving element coordinates into a `u64` key, sorting, and
+/// folding equal-key runs in a fixed order, so the result is
+/// bitwise-deterministic across runs and thread counts.
+pub fn ttv_hicoo_sched_with<S: Scalar>(
+    h: &HicooTensor<S>,
+    v: &DenseVector<S>,
+    mode: usize,
+    cs: &ComplementSchedule,
+) -> Result<HicooTensor<S>> {
+    check_operand(h.shape(), mode, v)?;
+    if cs.mode() != mode {
+        return Err(TensorError::InvalidStructure(format!(
+            "schedule built for mode {}, kernel invoked for mode {mode}",
+            cs.mode()
+        )));
+    }
+    let order = h.order();
+    if order > MAX_SCHED_ORDER {
+        return Err(TensorError::InvalidStructure(format!(
+            "scheduled Ttv supports order <= {MAX_SCHED_ORDER}, got {order}"
+        )));
+    }
+    let out_shape = h.shape().without_mode(mode)?;
+    let other: Vec<usize> = (0..order).filter(|&m| m != mode).collect();
+    let out_order = other.len();
+    let bits = h.block_bits();
+    let vv = v.as_slice();
+
+    // One output block per group: fiber keys (packed surviving element
+    // coords, lexicographic order) and the folded dot-product values.
+    let groups: Vec<(Vec<u64>, Vec<S>)> = (0..cs.num_groups())
+        .into_par_iter()
+        .map(|g| {
+            // (key, input value index in mode, nonzero position).
+            let mut entries: Vec<(u64, u32, u32)> = Vec::new();
+            for &b in cs.group_blocks(g) {
+                let b = b as usize;
+                let mode_base = (h.block_ind(b, mode) as usize) << bits;
+                for z in h.block_range(b) {
+                    let mut key = 0u64;
+                    for (j, &m) in other.iter().enumerate() {
+                        key |= (h.einds()[m][z] as u64) << ((out_order - 1 - j) * 8);
+                    }
+                    let idx = mode_base + h.einds()[mode][z] as usize;
+                    entries.push((key, idx as u32, z as u32));
+                }
+            }
+            entries.sort_unstable();
+            let mut keys = Vec::new();
+            let mut vals = Vec::new();
+            let mut i = 0;
+            while i < entries.len() {
+                let key = entries[i].0;
+                let mut acc = S::ZERO;
+                while i < entries.len() && entries[i].0 == key {
+                    let (_, idx, z) = entries[i];
+                    acc += h.vals()[z as usize] * vv[idx as usize];
+                    i += 1;
+                }
+                keys.push(key);
+                vals.push(acc);
+            }
+            (keys, vals)
+        })
+        .collect();
+
+    // Sequential assembly in group order (groups are lexicographically
+    // sorted by surviving block coords, keys sorted within each group).
+    let mut bptr: Vec<u64> = Vec::with_capacity(groups.len() + 1);
+    bptr.push(0);
+    let mut binds: Vec<Vec<u32>> = vec![Vec::with_capacity(groups.len()); out_order];
+    let mut einds: Vec<Vec<u8>> = vec![Vec::new(); out_order];
+    let mut vals: Vec<S> = Vec::new();
+    for (g, (keys, gvals)) in groups.iter().enumerate() {
+        let b0 = cs.group_blocks(g)[0] as usize;
+        for (j, &m) in other.iter().enumerate() {
+            binds[j].push(h.block_ind(b0, m));
+            let shift = (out_order - 1 - j) * 8;
+            for &key in keys {
+                einds[j].push(((key >> shift) & 0xFF) as u8);
+            }
+        }
+        vals.extend_from_slice(gvals);
+        bptr.push(vals.len() as u64);
+    }
+    Ok(HicooTensor::from_parts_unchecked(
+        out_shape, bits, bptr, binds, einds, vals,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use std::collections::BTreeMap;
@@ -380,6 +500,71 @@ mod tests {
         let a = ttv_ghicoo(&g, &fp, &v, Schedule::Static).unwrap();
         let b = ttv_ghicoo_seq(&g, &fp, &v).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sched_matches_hicoo_every_mode() {
+        let x = sample();
+        for bits in [1u8, 2, 7] {
+            let h = HicooTensor::from_coo(&x, bits).unwrap();
+            for mode in 0..3 {
+                let v = DenseVector::from_fn(x.shape().dim(mode) as usize, |i| (i + 1) as f32);
+                let expect = ttv_hicoo(&h, &v, mode).unwrap();
+                let got = ttv_hicoo_sched(&h, &v, mode).unwrap();
+                assert!(got.validate().is_ok(), "bits {bits} mode {mode}");
+                assert_eq!(got.to_map(), expect.to_map(), "bits {bits} mode {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn sched_is_bitwise_deterministic_and_contended() {
+        // Dense-ish tensor: many nonzeros fold into each output fiber.
+        let entries: Vec<(Vec<u32>, f32)> = (0..3000)
+            .map(|i| {
+                (
+                    vec![(i * 3) % 20, (i * 7) % 20, (i * 11) % 20],
+                    0.25 * (i % 13) as f32,
+                )
+            })
+            .collect();
+        let x = CooTensor::from_entries(Shape::new(vec![20, 20, 20]), entries).unwrap();
+        let h = HicooTensor::from_coo(&x, 2).unwrap();
+        for mode in 0..3 {
+            let v = DenseVector::from_fn(20, |i| (i as f32) - 9.5);
+            let a = ttv_hicoo_sched(&h, &v, mode).unwrap();
+            let b = crate::par::with_threads(4, || ttv_hicoo_sched(&h, &v, mode).unwrap());
+            assert_eq!(a.vals(), b.vals(), "mode {mode} not bitwise equal");
+            let expect = ttv_hicoo(&h, &v, mode).unwrap();
+            let (am, em) = (a.to_map(), expect.to_map());
+            assert_eq!(am.len(), em.len());
+            for (k, &val) in &am {
+                assert!(
+                    crate::scalar::approx_eq(val, em[k], 1e-3),
+                    "mode {mode}: {val} vs {}",
+                    em[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sched_handles_empty_tensor() {
+        let x = CooTensor::<f32>::empty(Shape::new(vec![4, 4, 4]));
+        let h = HicooTensor::from_coo(&x, 2).unwrap();
+        let v = DenseVector::constant(4, 1.0);
+        let y = ttv_hicoo_sched(&h, &v, 1).unwrap();
+        assert_eq!(y.nnz(), 0);
+        assert!(y.validate().is_ok());
+    }
+
+    #[test]
+    fn sched_rejects_mode_mismatched_schedule() {
+        let x = sample();
+        let h = HicooTensor::from_coo(&x, 1).unwrap();
+        let cs = crate::sched::complement_schedule(&h, 0);
+        let v = DenseVector::constant(4, 1.0f32);
+        assert!(ttv_hicoo_sched_with(&h, &v, 1, &cs).is_err());
     }
 
     #[test]

@@ -77,6 +77,7 @@ pub mod methods;
 pub mod par;
 pub mod reorder;
 pub mod scalar;
+pub mod sched;
 pub mod shape;
 
 /// Convenient re-exports of the most commonly used items.

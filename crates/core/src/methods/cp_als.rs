@@ -339,8 +339,18 @@ mod tests {
         let hic = cp_als(&x, &mk(CpAlsBackend::Hicoo { block_bits: 3 })).unwrap();
         let csf = cp_als(&x, &mk(CpAlsBackend::Csf)).unwrap();
         assert!(coo.fit > 0.999);
-        assert!((coo.fit - hic.fit).abs() < 1e-6, "{} vs {}", coo.fit, hic.fit);
-        assert!((coo.fit - csf.fit).abs() < 1e-6, "{} vs {}", coo.fit, csf.fit);
+        assert!(
+            (coo.fit - hic.fit).abs() < 1e-6,
+            "{} vs {}",
+            coo.fit,
+            hic.fit
+        );
+        assert!(
+            (coo.fit - csf.fit).abs() < 1e-6,
+            "{} vs {}",
+            coo.fit,
+            csf.fit
+        );
     }
 
     #[test]

@@ -25,9 +25,7 @@ pub(crate) struct XorShift64 {
 
 impl XorShift64 {
     pub(crate) fn new(seed: u64) -> Self {
-        XorShift64 {
-            state: seed.max(1),
-        }
+        XorShift64 { state: seed.max(1) }
     }
 
     pub(crate) fn next_u64(&mut self) -> u64 {

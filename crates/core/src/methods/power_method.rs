@@ -162,11 +162,7 @@ mod tests {
         // Order-2: plain power method on a diagonal matrix.
         let x = CooTensor::from_entries(
             Shape::cubical(2, 3),
-            vec![
-                (vec![0, 0], 5.0f64),
-                (vec![1, 1], 2.0),
-                (vec![2, 2], 1.0),
-            ],
+            vec![(vec![0, 0], 5.0f64), (vec![1, 1], 2.0), (vec![2, 2], 1.0)],
         )
         .unwrap();
         let res = tensor_power_method(&x, 200, 1e-12, 3).unwrap();

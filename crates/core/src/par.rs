@@ -1,6 +1,9 @@
 //! Parallel execution helpers — the suite's stand-in for the paper's OpenMP
 //! runtime configuration (`§5.1.2`: scheduling strategies and thread counts).
 
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use rayon::prelude::*;
 
 /// Loop scheduling strategy, mirroring OpenMP's `schedule(static)` /
@@ -37,12 +40,14 @@ where
             let n = out.len();
             let workers = rayon::current_num_threads().max(1);
             let chunk = n.div_ceil(workers).max(1);
-            out.par_chunks_mut(chunk).enumerate().for_each(|(c, slice)| {
-                let base = c * chunk;
-                for (off, item) in slice.iter_mut().enumerate() {
-                    body(base + off, item);
-                }
-            });
+            out.par_chunks_mut(chunk)
+                .enumerate()
+                .for_each(|(c, slice)| {
+                    let base = c * chunk;
+                    for (off, item) in slice.iter_mut().enumerate() {
+                        body(base + off, item);
+                    }
+                });
         }
         Schedule::Dynamic { grain } => {
             out.par_iter_mut()
@@ -66,6 +71,84 @@ pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R 
 /// Number of worker threads in the current pool.
 pub fn current_threads() -> usize {
     rayon::current_num_threads()
+}
+
+/// Index of the calling worker thread within the current pool, if any.
+pub fn current_thread_index() -> Option<usize> {
+    rayon::current_thread_index()
+}
+
+struct ArenaSlot<T> {
+    busy: AtomicBool,
+    data: UnsafeCell<Option<T>>,
+}
+
+// Safety: `data` is only accessed by the thread that won the `busy`
+// try-lock, and `T: Send` allows moving values between threads.
+unsafe impl<T: Send> Sync for ArenaSlot<T> {}
+
+/// Reusable per-thread scratch buffers for parallel kernels.
+///
+/// The atomic kernels in the seed allocated a fresh `vec![S::ZERO; r]` per
+/// work chunk — a malloc on the hot path of every chunk of every kernel
+/// call. `ScratchArena` keeps one lazily-initialized buffer per worker
+/// thread and lends it out for the duration of a closure:
+///
+/// ```
+/// use tenbench_core::par::ScratchArena;
+/// let arena = ScratchArena::new(|| vec![0.0f32; 16]);
+/// let sum: f32 = arena.with(|scratch| {
+///     scratch.fill(1.0);
+///     scratch.iter().sum()
+/// });
+/// assert_eq!(sum, 16.0);
+/// ```
+///
+/// Slots are claimed with an atomic try-lock keyed by the worker index, so
+/// the arena is safe under nested parallelism or oversubscription: a thread
+/// that finds its slot busy simply builds a fresh buffer for that one call.
+/// Buffers are handed out dirty — callers must fully initialize the scratch
+/// before reading it (every kernel here starts with a `fill`).
+pub struct ScratchArena<T, F: Fn() -> T> {
+    make: F,
+    slots: Box<[ArenaSlot<T>]>,
+}
+
+impl<T: Send, F: Fn() -> T + Sync> ScratchArena<T, F> {
+    /// Create an arena with one slot per worker of the current pool.
+    pub fn new(make: F) -> Self {
+        let n = current_threads().max(1);
+        let slots = (0..n)
+            .map(|_| ArenaSlot {
+                busy: AtomicBool::new(false),
+                data: UnsafeCell::new(None),
+            })
+            .collect();
+        ScratchArena { make, slots }
+    }
+
+    /// Run `f` with this thread's scratch buffer (creating it on first use).
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let idx = current_thread_index().unwrap_or(0) % self.slots.len();
+        let slot = &self.slots[idx];
+        if slot
+            .busy
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            // Safety: the CAS above grants exclusive access until the
+            // release store below.
+            let data = unsafe { &mut *slot.data.get() };
+            let out = f(data.get_or_insert_with(&self.make));
+            slot.busy.store(false, Ordering::Release);
+            out
+        } else {
+            // Slot contended (nested parallel section): fall back to a
+            // one-shot buffer rather than blocking.
+            let mut fresh = (self.make)();
+            f(&mut fresh)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -103,5 +186,53 @@ mod tests {
     fn empty_slice_is_a_no_op() {
         let mut v: Vec<u32> = vec![];
         par_for_each_indexed(&mut v, Schedule::Static, |_, _| unreachable!());
+    }
+
+    #[test]
+    fn scratch_arena_reuses_buffers_across_calls() {
+        use std::sync::atomic::AtomicUsize;
+        let allocs = AtomicUsize::new(0);
+        let arena = ScratchArena::new(|| {
+            allocs.fetch_add(1, Ordering::Relaxed);
+            vec![0.0f64; 8]
+        });
+        for i in 0..100 {
+            arena.with(|s| {
+                s.fill(i as f64);
+                assert_eq!(s[7], i as f64);
+            });
+        }
+        // Sequential caller: exactly one buffer ever built.
+        assert_eq!(allocs.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn scratch_arena_nested_use_falls_back_safely() {
+        let arena = ScratchArena::new(|| vec![0u32; 4]);
+        let out = arena.with(|outer| {
+            outer.fill(1);
+            // Same thread re-enters: slot is busy, fallback buffer used.
+            let inner_sum: u32 = arena.with(|inner| {
+                inner.fill(2);
+                inner.iter().sum()
+            });
+            outer.iter().sum::<u32>() + inner_sum
+        });
+        assert_eq!(out, 4 + 8);
+    }
+
+    #[test]
+    fn scratch_arena_parallel_use_is_consistent() {
+        let arena = ScratchArena::new(|| vec![0usize; 16]);
+        let results: Vec<usize> = (0..64usize)
+            .into_par_iter()
+            .map(|i| {
+                arena.with(|s| {
+                    s.fill(i);
+                    s.iter().sum::<usize>()
+                })
+            })
+            .collect();
+        assert!(results.iter().enumerate().all(|(i, &r)| r == i * 16));
     }
 }

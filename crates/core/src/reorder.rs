@@ -94,10 +94,7 @@ pub fn permute_vector<S: Scalar>(v: &DenseVector<S>, perm: &[u32]) -> Result<Den
 
 /// Permute a factor matrix's rows to match a relabeled mode:
 /// `out.row(perm[i]) = m.row(i)`.
-pub fn permute_matrix_rows<S: Scalar>(
-    m: &DenseMatrix<S>,
-    perm: &[u32],
-) -> Result<DenseMatrix<S>> {
+pub fn permute_matrix_rows<S: Scalar>(m: &DenseMatrix<S>, perm: &[u32]) -> Result<DenseMatrix<S>> {
     check_permutation(perm, m.rows() as u32)?;
     let mut out = DenseMatrix::zeros(m.rows(), m.cols());
     for (i, &p) in perm.iter().enumerate() {

@@ -83,7 +83,11 @@ impl Shape {
         }
         for (mode, (&i, &d)) in coord.iter().zip(&self.dims).enumerate() {
             if i >= d {
-                return Err(TensorError::IndexOutOfBounds { mode, index: i, dim: d });
+                return Err(TensorError::IndexOutOfBounds {
+                    mode,
+                    index: i,
+                    dim: d,
+                });
             }
         }
         Ok(())
@@ -173,7 +177,11 @@ mod tests {
         assert!(s.check_coord(&[1, 1]).is_ok());
         assert_eq!(
             s.check_coord(&[1, 2]),
-            Err(TensorError::IndexOutOfBounds { mode: 1, index: 2, dim: 2 })
+            Err(TensorError::IndexOutOfBounds {
+                mode: 1,
+                index: 2,
+                dim: 2
+            })
         );
         assert!(matches!(
             s.check_coord(&[1]),

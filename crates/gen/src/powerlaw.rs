@@ -132,8 +132,7 @@ mod tests {
         let t = irr3(20_000).generate(3);
         let dim = 32_768f64;
         for m in 0..2 {
-            let mean: f64 =
-                t.mode_inds(m).iter().map(|&i| i as f64).sum::<f64>() / t.nnz() as f64;
+            let mean: f64 = t.mode_inds(m).iter().map(|&i| i as f64).sum::<f64>() / t.nnz() as f64;
             assert!(mean < dim / 4.0, "mode {m} mean {mean} not power-law");
         }
     }

@@ -162,26 +162,70 @@ pub static REAL_DATASETS: &[Dataset] = &[
     real!("r4", "darpa", [22_476, 22_476, 23_776_223], 28_000_000),
     real!("r5", "fb-m", [23_344_784, 23_344_784, 166], 100_000_000),
     real!("r6", "fb-s", [38_955_429, 38_955_429, 532], 140_000_000),
-    real!("r7", "flickr", [319_686, 28_153_045, 1_607_191], 113_000_000),
+    real!(
+        "r7",
+        "flickr",
+        [319_686, 28_153_045, 1_607_191],
+        113_000_000
+    ),
     real!("r8", "deli", [532_924, 17_262_471, 2_480_308], 140_000_000),
-    real!("r9", "nell1", [2_902_330, 2_143_368, 25_495_389], 144_000_000),
+    real!(
+        "r9",
+        "nell1",
+        [2_902_330, 2_143_368, 25_495_389],
+        144_000_000
+    ),
     real!("r10", "crime4d", [6_186, 24, 77, 32], 5_000_000),
     real!("r11", "uber4d", [183, 24, 1_140, 1_717], 3_000_000),
     real!("r12", "nips4d", [2_482, 2_862, 14_036, 17], 3_000_000),
     real!("r13", "enron4d", [6_066, 5_699, 244_268, 1_176], 54_000_000),
-    real!("r14", "flickr4d", [319_686, 28_153_045, 1_607_191, 731], 113_000_000),
-    real!("r15", "deli4d", [532_924, 17_262_471, 2_480_308, 1_443], 140_000_000),
+    real!(
+        "r14",
+        "flickr4d",
+        [319_686, 28_153_045, 1_607_191, 731],
+        113_000_000
+    ),
+    real!(
+        "r15",
+        "deli4d",
+        [532_924, 17_262_471, 2_480_308, 1_443],
+        140_000_000
+    ),
 ];
 
 /// Table 3: the paper's synthetic tensor recipes.
 pub static SYNTHETIC_DATASETS: &[Dataset] = &[
     synth!("s1", "regS", Kronecker, [65_536, 65_536, 65_536], 1_100_000),
-    synth!("s2", "regM", Kronecker, [1_100_000, 1_100_000, 1_100_000], 11_500_000),
-    synth!("s3", "regL", Kronecker, [8_300_000, 8_300_000, 8_300_000], 94_000_000),
+    synth!(
+        "s2",
+        "regM",
+        Kronecker,
+        [1_100_000, 1_100_000, 1_100_000],
+        11_500_000
+    ),
+    synth!(
+        "s3",
+        "regL",
+        Kronecker,
+        [8_300_000, 8_300_000, 8_300_000],
+        94_000_000
+    ),
     synth!("s4", "irrS", PowerLaw, [32_768, 32_768, 76], 1_000_000),
     synth!("s5", "irrM", PowerLaw, [524_288, 524_288, 126], 10_000_000),
-    synth!("s6", "irrL", PowerLaw, [4_200_000, 4_200_000, 168], 84_000_000),
-    synth!("s7", "regS4d", Kronecker, [8_192, 8_192, 8_192, 8_192], 1_000_000),
+    synth!(
+        "s6",
+        "irrL",
+        PowerLaw,
+        [4_200_000, 4_200_000, 168],
+        84_000_000
+    ),
+    synth!(
+        "s7",
+        "regS4d",
+        Kronecker,
+        [8_192, 8_192, 8_192, 8_192],
+        1_000_000
+    ),
     synth!(
         "s8",
         "regM4d",

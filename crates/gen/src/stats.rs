@@ -121,8 +121,7 @@ mod tests {
     #[test]
     fn mean_fibers_averages_modes() {
         let s = TensorStats::compute(&sample(), 1);
-        let expect =
-            s.fibers_per_mode.iter().sum::<usize>() as f64 / 3.0;
+        let expect = s.fibers_per_mode.iter().sum::<usize>() as f64 / 3.0;
         assert_eq!(s.mean_fibers(), expect);
     }
 }

@@ -72,8 +72,11 @@ pub fn stack_slices(
         .into_iter()
         .map(|((i, j, k), c)| (vec![i, j, k], c as f32))
         .collect();
-    CooTensor::from_entries(Shape::new(vec![src_dim, dst_dim, num_slices as u32]), entries)
-        .expect("coordinates in range by construction")
+    CooTensor::from_entries(
+        Shape::new(vec![src_dim, dst_dim, num_slices as u32]),
+        entries,
+    )
+    .expect("coordinates in range by construction")
 }
 
 /// Repeat [`stack_slices`] over `num_epochs` epochs to produce a

@@ -161,9 +161,7 @@ pub fn mttkrp_hicoo_gpu<S: Scalar>(
                         let i = base_rows[md] + h.einds()[md][z] as u64;
                         for rl in 0..cw as u64 {
                             if addrs.len() < 32 {
-                                addrs.push(
-                                    base + S::BYTES * (i * r as u64 + chunk0 as u64 + rl),
-                                );
+                                addrs.push(base + S::BYTES * (i * r as u64 + chunk0 as u64 + rl));
                             }
                         }
                     }
@@ -208,7 +206,11 @@ mod tests {
         let entries: Vec<(Vec<u32>, f32)> = (0..n)
             .map(|i| {
                 (
-                    vec![(i % 37) as u32, ((i * 3) % 31) as u32, ((i * 7) % 29) as u32],
+                    vec![
+                        (i % 37) as u32,
+                        ((i * 3) % 31) as u32,
+                        ((i * 7) % 29) as u32,
+                    ],
                     ((i % 13) as f32 - 6.0) * 0.25,
                 )
             })

@@ -98,7 +98,11 @@ mod tests {
         let entries: Vec<(Vec<u32>, f32)> = (0..n)
             .map(|i| {
                 (
-                    vec![(i % 97) as u32, ((i * 7) % 89) as u32, ((i * 13) % 83) as u32],
+                    vec![
+                        (i % 97) as u32,
+                        ((i * 7) % 89) as u32,
+                        ((i * 13) % 83) as u32,
+                    ],
                     i as f32 + 1.0,
                 )
             })

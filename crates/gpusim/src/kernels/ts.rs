@@ -84,7 +84,11 @@ mod tests {
         let entries: Vec<(Vec<u32>, f32)> = (0..n)
             .map(|i| {
                 (
-                    vec![(i % 101) as u32, ((i * 3) % 103) as u32, ((i * 11) % 107) as u32],
+                    vec![
+                        (i % 101) as u32,
+                        ((i * 3) % 103) as u32,
+                        ((i * 11) % 107) as u32,
+                    ],
                     i as f32 - 50.0,
                 )
             })
@@ -109,8 +113,7 @@ mod tests {
         let dev = DeviceSpec::p100();
         let (_, ts_stats) = ts_coo_gpu(&dev, &x, 1.0, EwOp::Add).unwrap();
         let y = x.clone();
-        let (_, tew_stats) =
-            crate::kernels::tew::tew_coo_gpu(&dev, &x, &y, EwOp::Add).unwrap();
+        let (_, tew_stats) = crate::kernels::tew::tew_coo_gpu(&dev, &x, &y, EwOp::Add).unwrap();
         assert!(ts_stats.dram_bytes < tew_stats.dram_bytes);
     }
 

@@ -60,7 +60,13 @@ fn trace_ttm<S: Scalar>(
                 addrs.push(src + 4 * fiber_starts[f] as u64);
             }
             t.access_gather(AccessKind::Load, &addrs, 4);
-            t.access_contig(AccessKind::Store, *dst, f0 as u64, nf as u64, out_index_bytes);
+            t.access_contig(
+                AccessKind::Store,
+                *dst,
+                f0 as u64,
+                nf as u64,
+                out_index_bytes,
+            );
         }
         let maxlen = (f0..f0 + nf)
             .map(|f| fiber_starts[f + 1] - fiber_starts[f])
@@ -185,7 +191,11 @@ mod tests {
         let entries: Vec<(Vec<u32>, f32)> = (0..n)
             .map(|i| {
                 (
-                    vec![(i % 47) as u32, ((i * 3) % 43) as u32, ((i * 7) % 41) as u32],
+                    vec![
+                        (i % 47) as u32,
+                        ((i * 3) % 43) as u32,
+                        ((i * 7) % 41) as u32,
+                    ],
                     (i % 9) as f32 - 4.0,
                 )
             })

@@ -61,7 +61,13 @@ fn trace_fiber_kernel<S: Scalar>(
                 addrs.push(src + 4 * fiber_starts[f] as u64);
             }
             t.access_gather(AccessKind::Load, &addrs, 4);
-            t.access_contig(AccessKind::Store, *dst, f0 as u64, lanes as u64, out_index_bytes);
+            t.access_contig(
+                AccessKind::Store,
+                *dst,
+                f0 as u64,
+                lanes as u64,
+                out_index_bytes,
+            );
         }
         // Lock-step walk over fiber elements.
         let maxlen = (f0..f0 + lanes)
@@ -91,7 +97,13 @@ fn trace_fiber_kernel<S: Scalar>(
             t.instr(2.0);
         }
         // Final value store.
-        t.access_contig(AccessKind::Store, out_val, f0 as u64, lanes as u64, S::BYTES);
+        t.access_contig(
+            AccessKind::Store,
+            out_val,
+            f0 as u64,
+            lanes as u64,
+            S::BYTES,
+        );
         f0 += 32;
     }
     (t, grid)
@@ -108,14 +120,8 @@ pub fn ttv_coo_gpu<S: Scalar>(
     let mut xs = x.clone();
     let fp = xs.fibers(mode)?;
     let out = ttv_prepared_seq(&xs, &fp, v)?;
-    let (tracker, grid) = trace_fiber_kernel::<S>(
-        dev,
-        &fp.fptr,
-        xs.mode_inds(mode),
-        x.order() - 1,
-        v.len(),
-        4,
-    );
+    let (tracker, grid) =
+        trace_fiber_kernel::<S>(dev, &fp.fptr, xs.mode_inds(mode), x.order() - 1, v.len(), 4);
     let stats = GpuKernelStats::from_tracker(
         "Ttv",
         "COO",
@@ -170,7 +176,11 @@ mod tests {
         let entries: Vec<(Vec<u32>, f32)> = (0..n)
             .map(|i| {
                 (
-                    vec![(i % 53) as u32, ((i * 5) % 59) as u32, ((i * 17) % 61) as u32],
+                    vec![
+                        (i % 53) as u32,
+                        ((i * 5) % 59) as u32,
+                        ((i * 17) % 61) as u32,
+                    ],
                     (i % 11) as f32 + 0.5,
                 )
             })
@@ -213,13 +223,9 @@ mod tests {
         let dev = DeviceSpec::p100();
         let v = DenseVector::constant(61, 1.0f32);
         let (_, ttv_stats) = ttv_coo_gpu(&dev, &x, &v, 2).unwrap();
-        let (_, ts_stats) = crate::kernels::ts::ts_coo_gpu(
-            &dev,
-            &x,
-            1.0,
-            tenbench_core::kernels::EwOp::Add,
-        )
-        .unwrap();
+        let (_, ts_stats) =
+            crate::kernels::ts::ts_coo_gpu(&dev, &x, 1.0, tenbench_core::kernels::EwOp::Add)
+                .unwrap();
         assert!(ttv_stats.sectors > ts_stats.sectors);
     }
 

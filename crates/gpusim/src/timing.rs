@@ -48,7 +48,11 @@ impl TimeBreakdown {
 
 /// Compute the modeled time of a launch whose trace is in `tracker`, with
 /// thread blocks of `block_threads` threads.
-pub fn model_time(dev: &DeviceSpec, tracker: &MemoryTracker, block_threads: usize) -> TimeBreakdown {
+pub fn model_time(
+    dev: &DeviceSpec,
+    tracker: &MemoryTracker,
+    block_threads: usize,
+) -> TimeBreakdown {
     let dram_s = tracker.dram_bytes() as f64 / (dev.dram_bw_gbs * 1e9);
     let l2_s = tracker.l2_bytes() as f64 / (dev.l2_bw_gbs * 1e9);
 
@@ -65,8 +69,7 @@ pub fn model_time(dev: &DeviceSpec, tracker: &MemoryTracker, block_threads: usiz
     // A slot shares its SM's issue bandwidth with the blocks actually
     // resident there: small launches leave slots empty and issue faster.
     let blocks = tracker.per_block().len();
-    let resident_per_sm =
-        ((blocks as f64 / dev.sms as f64).ceil()).clamp(1.0, slots_per_sm);
+    let resident_per_sm = ((blocks as f64 / dev.sms as f64).ceil()).clamp(1.0, slots_per_sm);
     let rate_per_slot = dev.ipc_per_sm / resident_per_sm; // instructions / cycle
     let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
         (0..slots).map(|s| Reverse((0u64, s))).collect();

@@ -127,7 +127,12 @@ fn hicoo_mttkrp_imbalance_shows_in_the_schedule() {
     let frefs: Vec<&DenseMatrix<f32>> = factors.iter().collect();
     let (_, coo) = gpuk::mttkrp_coo_gpu(&dev, &x, &frefs, 0).unwrap();
     let (_, hic) = gpuk::mttkrp_hicoo_gpu(&dev, &hx, &frefs, 0).unwrap();
-    assert!(hic.time_s > 2.0 * coo.time_s, "{} vs {}", hic.time_s, coo.time_s);
+    assert!(
+        hic.time_s > 2.0 * coo.time_s,
+        "{} vs {}",
+        hic.time_s,
+        coo.time_s
+    );
     assert_eq!(hic.bottleneck(), "sched");
 }
 
@@ -135,11 +140,8 @@ fn hicoo_mttkrp_imbalance_shows_in_the_schedule() {
 fn tiny_launches_do_not_explode() {
     // Degenerate inputs: one nonzero, one fiber.
     let dev = DeviceSpec::p100();
-    let x = CooTensor::from_entries(
-        Shape::new(vec![4, 4, 4]),
-        vec![(vec![1, 2, 3], 5.0f32)],
-    )
-    .unwrap();
+    let x =
+        CooTensor::from_entries(Shape::new(vec![4, 4, 4]), vec![(vec![1, 2, 3], 5.0f32)]).unwrap();
     let y = x.clone();
     let (out, s) = gpuk::tew_coo_gpu(&dev, &x, &y, EwOp::Add).unwrap();
     assert_eq!(out.vals()[0], 10.0);

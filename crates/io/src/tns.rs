@@ -149,8 +149,7 @@ mod tests {
         .unwrap();
         let mut buf = Vec::new();
         write_tns(&t, &mut buf).unwrap();
-        let back: CooTensor<f32> =
-            read_tns_with_shape(buf.as_slice(), t.shape().clone()).unwrap();
+        let back: CooTensor<f32> = read_tns_with_shape(buf.as_slice(), t.shape().clone()).unwrap();
         assert_eq!(back.to_map(), t.to_map());
     }
 

@@ -8,7 +8,7 @@
 //! term."
 
 use tenbench_core::analysis::{
-    mttkrp_coo_cost, mttkrp_hicoo_cost, ts_cost, ttm_cost, ttv_cost, tew_cost, KernelCost,
+    mttkrp_coo_cost, mttkrp_hicoo_cost, tew_cost, ts_cost, ttm_cost, ttv_cost, KernelCost,
 };
 
 /// A Roofline performance bound for one kernel on one tensor.
@@ -144,7 +144,16 @@ mod tests {
     fn efficiency_can_exceed_one() {
         let b = tew_bound(1000, BW, PEAK);
         assert!(efficiency(b.gflops * 3.5, b) > 3.0); // cache-resident case
-        assert_eq!(efficiency(1.0, KernelBound { oi: 0.0, gflops: 0.0 }), 0.0);
+        assert_eq!(
+            efficiency(
+                1.0,
+                KernelBound {
+                    oi: 0.0,
+                    gflops: 0.0
+                }
+            ),
+            0.0
+        );
     }
 
     #[test]

@@ -1,0 +1,368 @@
+//! Offline drop-in subset of [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the APIs it uses as path crates under `crates/shims/`. This
+//! harness keeps criterion's API shape (`benchmark_group`, `Throughput`,
+//! `BenchmarkId`, `criterion_group!`/`criterion_main!`) and measures with
+//! plain wall-clock sampling: a warm-up phase estimates the per-iteration
+//! cost, then `sample_size` samples of batched iterations produce
+//! min/median/max and a throughput line. No statistical regression
+//! analysis, no HTML reports — stdout only.
+//!
+//! Command-line positional arguments (as passed by `cargo bench -- <f>`)
+//! are treated as substring filters on the full `group/function` id;
+//! criterion's own flags (`--bench`, `--save-baseline`, …) are ignored.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` style id.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// The benchmark harness configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Skip flags (and the value of `--flag value` pairs); keep bare
+        // words as substring filters, mirroring criterion's CLI.
+        let mut filters = Vec::new();
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            if a == "--bench" || a == "--test" {
+                continue;
+            }
+            if let Some(flag) = a.strip_prefix("--") {
+                // Flags that consume a value.
+                if matches!(
+                    flag,
+                    "save-baseline"
+                        | "baseline"
+                        | "measurement-time"
+                        | "warm-up-time"
+                        | "sample-size"
+                ) {
+                    args.next();
+                }
+                continue;
+            }
+            filters.push(a);
+        }
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the measurement phase of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time budget for the warm-up phase of one benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a benchmark outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(self, None, &id.id, None, f);
+        self
+    }
+
+    /// Print a closing line (kept for API symmetry).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for `elem/s` reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let name = self.name.clone();
+        let tp = self.throughput;
+        run_one(self.criterion, Some(&name), &id.id, tp, f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input (criterion API parity; the
+    /// input is simply passed through to the closure).
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    /// Seconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`, called in batches across `sample_size` samples.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up: run until the warm-up budget is spent, estimating the
+        // per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let per_sample = self.measurement.as_secs_f64() / self.sample_size as f64;
+        self.iters_per_sample = ((per_sample / est.max(1e-9)).ceil() as u64).clamp(1, 10_000_000);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            let dt = t0.elapsed().as_secs_f64() / self.iters_per_sample as f64;
+            self.samples.push(dt);
+        }
+    }
+}
+
+fn run_one(
+    c: &Criterion,
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if !c.filters.is_empty() && !c.filters.iter().any(|flt| full.contains(flt.as_str())) {
+        return;
+    }
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        sample_size: c.sample_size,
+        warm_up: c.warm_up_time,
+        measurement: c.measurement_time,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{full:<50} (no measurement)");
+        return;
+    }
+    let mut s = b.samples.clone();
+    s.sort_by(|a, x| a.partial_cmp(x).unwrap());
+    let min = s[0];
+    let max = s[s.len() - 1];
+    let median = s[s.len() / 2];
+    print!(
+        "{full:<50} time: [{} {} {}]",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(max)
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            print!("  thrpt: {}", fmt_rate(n as f64 / median, "elem/s"));
+        }
+        Some(Throughput::Bytes(n)) => {
+            print!("  thrpt: {}", fmt_rate(n as f64 / median, "B/s"));
+        }
+        None => {}
+    }
+    println!();
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} \u{b5}s", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+fn fmt_rate(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.4} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.4} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.4} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.4} {unit}")
+    }
+}
+
+/// Define a benchmark group function, criterion style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`, criterion style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(20),
+            warm_up_time: Duration::from_millis(5),
+            filters: Vec::new(),
+        };
+        let mut group = c.benchmark_group("t");
+        group.throughput(Throughput::Elements(10));
+        let mut ran = 0u64;
+        group.bench_function(BenchmarkId::new("noop", 1), |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,780 @@
+//! Offline drop-in subset of [rayon](https://crates.io/crates/rayon)'s
+//! data-parallel API, backed by `std::thread::scope`.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the handful of external APIs it actually uses as
+//! small path crates under `crates/shims/`. This one covers the slice/range
+//! parallel iterators, `ThreadPoolBuilder::install` thread-count scoping,
+//! `broadcast`, and `current_num_threads`/`current_thread_index`.
+//!
+//! Semantics intentionally match rayon where the suite depends on them:
+//!
+//! * work is split into chunks of at least `with_min_len` items and executed
+//!   by up to `current_num_threads()` OS threads with dynamic (work-stealing
+//!   style) chunk assignment;
+//! * `collect`/`filter`/`fold` preserve index order deterministically;
+//! * `ThreadPool::install` scopes the logical thread count seen by nested
+//!   parallel calls (used by the harness to emulate smaller machines);
+//! * `current_thread_index()` identifies the worker inside a parallel
+//!   region, enabling per-thread scratch arenas.
+//!
+//! Unsupported rayon features (adaptive splitting, full combinator set) are
+//! simply absent; additions should stay API-compatible with real rayon so
+//! the shim can be swapped back out when a registry is available.
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Mutex;
+
+/// Everything needed for `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, ParallelIterator, ParallelSliceExt, ParallelSliceMutExt,
+    };
+}
+
+thread_local! {
+    static CURRENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    static THREAD_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel calls on this thread will use.
+pub fn current_num_threads() -> usize {
+    CURRENT_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Index of the current worker inside a parallel region (`None` outside).
+pub fn current_thread_index() -> Option<usize> {
+    THREAD_INDEX.with(|c| c.get())
+}
+
+/// Builder for a scoped thread pool (only `num_threads` is honored).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num: Option<usize>,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; construction cannot fail in
+/// the shim, the type exists for API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder with the default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of worker threads.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num = Some(n);
+        self
+    }
+
+    /// Build the pool (infallible here).
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            n: self.num.unwrap_or_else(current_num_threads).max(1),
+        })
+    }
+}
+
+/// A logical thread pool: scopes the thread count seen by nested parallel
+/// calls. Threads are spawned per parallel region, not kept alive.
+pub struct ThreadPool {
+    n: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with `current_num_threads()` equal to this pool's size.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = CURRENT_THREADS.with(|c| c.replace(Some(self.n)));
+        let out = f();
+        CURRENT_THREADS.with(|c| c.set(prev));
+        out
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.n
+    }
+}
+
+/// Context passed to [`broadcast`] closures.
+pub struct BroadcastContext {
+    index: usize,
+    num_threads: usize,
+}
+
+impl BroadcastContext {
+    /// Index of this worker in `0..num_threads()`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Number of workers participating in the broadcast.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Run `f` once on every worker of the current pool, returning the results
+/// in worker order.
+pub fn broadcast<R, F>(f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(BroadcastContext) -> R + Sync,
+{
+    let n = current_num_threads().max(1);
+    let threads = n;
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let slots = Mutex::new(&mut out);
+    std::thread::scope(|s| {
+        let run = |idx: usize| {
+            CURRENT_THREADS.with(|c| c.set(Some(threads)));
+            let prev = THREAD_INDEX.with(|c| c.replace(Some(idx)));
+            let r = f(BroadcastContext {
+                index: idx,
+                num_threads: n,
+            });
+            THREAD_INDEX.with(|c| c.set(prev));
+            let mut guard = slots.lock().unwrap();
+            guard[idx] = Some(r);
+        };
+        for idx in 1..n {
+            s.spawn(move || run(idx));
+        }
+        run(0);
+    });
+    out.into_iter().map(|r| r.expect("worker result")).collect()
+}
+
+/// Split `0..len` into chunks of at least `grain` items and run `body` on
+/// each chunk from up to `current_num_threads()` workers.
+fn run_chunks<F>(len: usize, grain: usize, body: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    let threads = current_num_threads().max(1);
+    let grain = grain.max(1);
+    if threads == 1 || len <= grain {
+        let prev = THREAD_INDEX.with(|c| c.replace(Some(0)));
+        body(0..len);
+        THREAD_INDEX.with(|c| c.set(prev));
+        return;
+    }
+    // Aim for several chunks per worker for load balance, but never below
+    // the requested minimum chunk length.
+    let chunk = grain.max(len.div_ceil(threads * 4)).max(1);
+    let nchunks = len.div_ceil(chunk);
+    let counter = AtomicUsize::new(0);
+    let workers = threads.min(nchunks);
+    std::thread::scope(|s| {
+        let work = |wid: usize| {
+            CURRENT_THREADS.with(|c| c.set(Some(threads)));
+            let prev = THREAD_INDEX.with(|c| c.replace(Some(wid)));
+            loop {
+                let c = counter.fetch_add(1, AtomicOrdering::Relaxed);
+                if c >= nchunks {
+                    break;
+                }
+                let lo = c * chunk;
+                body(lo..(lo + chunk).min(len));
+            }
+            THREAD_INDEX.with(|c| c.set(prev));
+        };
+        for wid in 1..workers {
+            s.spawn(move || work(wid));
+        }
+        work(0);
+    });
+}
+
+/// An indexed source of parallel items.
+///
+/// # Safety
+/// `get(i)` may be called at most once per index per drive so that sources
+/// handing out `&mut` items never alias.
+pub unsafe trait IndexedSource: Sync {
+    /// The item produced for one index.
+    type Item: Send;
+    /// Total number of items.
+    fn len(&self) -> usize;
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Produce the item at `i`.
+    ///
+    /// # Safety
+    /// Each index must be requested at most once across all workers.
+    unsafe fn get(&self, i: usize) -> Self::Item;
+}
+
+/// A parallel iterator: an indexed source plus a minimum chunk length.
+pub struct Par<S> {
+    src: S,
+    grain: usize,
+}
+
+/// Range source (`(a..b).into_par_iter()`).
+pub struct RangeSrc {
+    start: usize,
+    len: usize,
+}
+
+unsafe impl IndexedSource for RangeSrc {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+/// Shared-slice source (`slice.par_iter()`).
+pub struct SliceSrc<'a, T> {
+    slice: &'a [T],
+}
+
+unsafe impl<'a, T: Sync + Send> IndexedSource for SliceSrc<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    unsafe fn get(&self, i: usize) -> &'a T {
+        self.slice.get_unchecked(i)
+    }
+}
+
+/// Mutable-slice source (`slice.par_iter_mut()`).
+pub struct SliceMutSrc<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Sync for SliceMutSrc<'_, T> {}
+
+unsafe impl<'a, T: Send> IndexedSource for SliceMutSrc<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut T {
+        &mut *self.ptr.add(i)
+    }
+}
+
+/// Shared chunks source (`slice.par_chunks(n)`).
+pub struct ChunksSrc<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+unsafe impl<'a, T: Sync + Send> IndexedSource for ChunksSrc<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+    unsafe fn get(&self, i: usize) -> &'a [T] {
+        let lo = i * self.chunk;
+        &self.slice[lo..(lo + self.chunk).min(self.slice.len())]
+    }
+}
+
+/// Mutable chunks source (`slice.par_chunks_mut(n)`).
+pub struct ChunksMutSrc<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Sync for ChunksMutSrc<'_, T> {}
+
+unsafe impl<'a, T: Send> IndexedSource for ChunksMutSrc<'a, T> {
+    type Item = &'a mut [T];
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut [T] {
+        let lo = i * self.chunk;
+        let hi = (lo + self.chunk).min(self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+    }
+}
+
+/// `map` adapter.
+pub struct MapSrc<S, F> {
+    src: S,
+    f: F,
+}
+
+unsafe impl<S, F, U> IndexedSource for MapSrc<S, F>
+where
+    S: IndexedSource,
+    F: Fn(S::Item) -> U + Sync,
+    U: Send,
+{
+    type Item = U;
+    fn len(&self) -> usize {
+        self.src.len()
+    }
+    unsafe fn get(&self, i: usize) -> U {
+        (self.f)(self.src.get(i))
+    }
+}
+
+/// `enumerate` adapter.
+pub struct EnumerateSrc<S> {
+    src: S,
+}
+
+unsafe impl<S: IndexedSource> IndexedSource for EnumerateSrc<S> {
+    type Item = (usize, S::Item);
+    fn len(&self) -> usize {
+        self.src.len()
+    }
+    unsafe fn get(&self, i: usize) -> (usize, S::Item) {
+        (i, self.src.get(i))
+    }
+}
+
+/// `zip` adapter (length is the minimum of the two sides).
+pub struct ZipSrc<A, B> {
+    a: A,
+    b: B,
+}
+
+unsafe impl<A: IndexedSource, B: IndexedSource> IndexedSource for ZipSrc<A, B> {
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    unsafe fn get(&self, i: usize) -> (A::Item, B::Item) {
+        (self.a.get(i), self.b.get(i))
+    }
+}
+
+/// Write-only pointer used by order-preserving `collect`.
+struct OutPtr<T>(*mut T);
+unsafe impl<T: Send> Sync for OutPtr<T> {}
+
+impl<S: IndexedSource> Par<S> {
+    /// Require chunks of at least `n` items.
+    pub fn with_min_len(mut self, n: usize) -> Self {
+        self.grain = n.max(1);
+        self
+    }
+
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> Par<EnumerateSrc<S>> {
+        Par {
+            src: EnumerateSrc { src: self.src },
+            grain: self.grain,
+        }
+    }
+
+    /// Transform every item.
+    pub fn map<U, F>(self, f: F) -> Par<MapSrc<S, F>>
+    where
+        F: Fn(S::Item) -> U + Sync,
+        U: Send,
+    {
+        Par {
+            src: MapSrc { src: self.src, f },
+            grain: self.grain,
+        }
+    }
+
+    /// Iterate two sources in lockstep.
+    pub fn zip<S2: IndexedSource>(self, other: Par<S2>) -> Par<ZipSrc<S, S2>> {
+        Par {
+            src: ZipSrc {
+                a: self.src,
+                b: other.src,
+            },
+            grain: self.grain.max(other.grain),
+        }
+    }
+
+    /// Keep items matching `pred`; only `collect` is supported downstream.
+    pub fn filter<P>(self, pred: P) -> ParFilter<S, P>
+    where
+        P: Fn(&S::Item) -> bool + Sync,
+    {
+        ParFilter {
+            src: self.src,
+            grain: self.grain,
+            pred,
+        }
+    }
+
+    /// Per-chunk accumulators in the style of rayon's `fold`; combine with
+    /// [`ParFold::collect`].
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParFold<S, ID, F>
+    where
+        T: Send,
+        ID: Fn() -> T + Sync,
+        F: Fn(T, S::Item) -> T + Sync,
+    {
+        ParFold {
+            src: self.src,
+            grain: self.grain,
+            identity,
+            fold_op,
+        }
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(S::Item) + Sync,
+    {
+        let src = &self.src;
+        run_chunks(src.len(), self.grain, |r| {
+            for i in r {
+                // SAFETY: run_chunks yields each index exactly once.
+                f(unsafe { src.get(i) });
+            }
+        });
+    }
+
+    /// Collect all items in index order.
+    pub fn collect<C: From<Vec<S::Item>>>(self) -> C {
+        let len = self.src.len();
+        let src = &self.src;
+        let mut out: Vec<S::Item> = Vec::with_capacity(len);
+        let ptr = OutPtr(out.as_mut_ptr());
+        let ptr_ref = &ptr;
+        run_chunks(len, self.grain, |r| {
+            for i in r {
+                // SAFETY: each index written exactly once into capacity we
+                // reserved; set_len only after all workers joined.
+                unsafe { ptr_ref.0.add(i).write(src.get(i)) };
+            }
+        });
+        // SAFETY: every slot in 0..len was initialized above.
+        unsafe { out.set_len(len) };
+        C::from(out)
+    }
+
+    /// Sum all items.
+    pub fn sum<T>(self) -> T
+    where
+        T: Send + std::iter::Sum<S::Item> + std::iter::Sum<T>,
+    {
+        let parts = self
+            .fold_chunks(|items| items.sum::<T>())
+            .into_iter()
+            .map(|(_, v)| v);
+        parts.sum()
+    }
+
+    /// Run `f` once per chunk over that chunk's items, returning
+    /// `(chunk_start, result)` pairs sorted by chunk start.
+    fn fold_chunks<T, F>(self, f: F) -> Vec<(usize, T)>
+    where
+        T: Send,
+        F: Fn(&mut dyn Iterator<Item = S::Item>) -> T + Sync,
+    {
+        let src = &self.src;
+        let parts: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::new());
+        run_chunks(src.len(), self.grain, |r| {
+            let start = r.start;
+            // SAFETY: run_chunks yields each index exactly once.
+            let mut it = r.map(|i| unsafe { src.get(i) });
+            let v = f(&mut it);
+            parts.lock().unwrap().push((start, v));
+        });
+        let mut parts = parts.into_inner().unwrap();
+        parts.sort_unstable_by_key(|&(s, _)| s);
+        parts
+    }
+}
+
+/// A filtered parallel iterator (terminal `collect` only).
+pub struct ParFilter<S, P> {
+    src: S,
+    grain: usize,
+    pred: P,
+}
+
+impl<S, P> ParFilter<S, P>
+where
+    S: IndexedSource,
+    P: Fn(&S::Item) -> bool + Sync,
+{
+    /// Collect the matching items in index order.
+    pub fn collect<C: From<Vec<S::Item>>>(self) -> C {
+        let pred = &self.pred;
+        let parts = Par {
+            src: self.src,
+            grain: self.grain,
+        }
+        .fold_chunks(|items| items.filter(|x| pred(x)).collect::<Vec<_>>());
+        let mut out = Vec::new();
+        for (_, mut part) in parts {
+            out.append(&mut part);
+        }
+        C::from(out)
+    }
+}
+
+/// A folded parallel iterator (terminal `collect` only).
+pub struct ParFold<S, ID, F> {
+    src: S,
+    grain: usize,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<S, T, ID, F> ParFold<S, ID, F>
+where
+    S: IndexedSource,
+    T: Send,
+    ID: Fn() -> T + Sync,
+    F: Fn(T, S::Item) -> T + Sync,
+{
+    /// Collect the per-chunk accumulators in chunk order.
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        let identity = &self.identity;
+        let fold_op = &self.fold_op;
+        let parts = Par {
+            src: self.src,
+            grain: self.grain,
+        }
+        .fold_chunks(|items| {
+            let mut acc = identity();
+            for x in items {
+                acc = fold_op(acc, x);
+            }
+            acc
+        });
+        C::from(parts.into_iter().map(|(_, v)| v).collect::<Vec<T>>())
+    }
+}
+
+/// Marker trait so `Par` chains read like rayon's (`ParallelIterator`).
+pub trait ParallelIterator {}
+impl<S> ParallelIterator for Par<S> {}
+
+/// `into_par_iter()` for index ranges.
+pub trait IntoParallelIterator {
+    /// The resulting parallel iterator.
+    type Iter;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = Par<RangeSrc>;
+    fn into_par_iter(self) -> Par<RangeSrc> {
+        Par {
+            src: RangeSrc {
+                start: self.start,
+                len: self.end.saturating_sub(self.start),
+            },
+            grain: 1,
+        }
+    }
+}
+
+/// Parallel views over shared slices.
+pub trait ParallelSliceExt<T: Sync + Send> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> Par<SliceSrc<'_, T>>;
+    /// Parallel iterator over `&[T]` chunks of length `n` (last may be
+    /// short).
+    fn par_chunks(&self, n: usize) -> Par<ChunksSrc<'_, T>>;
+}
+
+impl<T: Sync + Send> ParallelSliceExt<T> for [T] {
+    fn par_iter(&self) -> Par<SliceSrc<'_, T>> {
+        Par {
+            src: SliceSrc { slice: self },
+            grain: 1,
+        }
+    }
+    fn par_chunks(&self, n: usize) -> Par<ChunksSrc<'_, T>> {
+        assert!(n > 0, "chunk length must be positive");
+        Par {
+            src: ChunksSrc {
+                slice: self,
+                chunk: n,
+            },
+            grain: 1,
+        }
+    }
+}
+
+/// Parallel views over mutable slices.
+pub trait ParallelSliceMutExt<T: Send> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> Par<SliceMutSrc<'_, T>>;
+    /// Parallel iterator over `&mut [T]` chunks of length `n`.
+    fn par_chunks_mut(&mut self, n: usize) -> Par<ChunksMutSrc<'_, T>>;
+    /// Sort in place (sequential under the hood; kept for API parity).
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync;
+}
+
+impl<T: Send> ParallelSliceMutExt<T> for [T] {
+    fn par_iter_mut(&mut self) -> Par<SliceMutSrc<'_, T>> {
+        Par {
+            src: SliceMutSrc {
+                ptr: self.as_mut_ptr(),
+                len: self.len(),
+                _marker: PhantomData,
+            },
+            grain: 1,
+        }
+    }
+    fn par_chunks_mut(&mut self, n: usize) -> Par<ChunksMutSrc<'_, T>> {
+        assert!(n > 0, "chunk length must be positive");
+        Par {
+            src: ChunksMutSrc {
+                ptr: self.as_mut_ptr(),
+                len: self.len(),
+                chunk: n,
+                _marker: PhantomData,
+            },
+            grain: 1,
+        }
+    }
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        self.sort_unstable_by(|a, b| cmp(a, b));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i));
+    }
+
+    #[test]
+    fn filter_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000)
+            .into_par_iter()
+            .filter(|&i| i % 3 == 0)
+            .collect();
+        let expect: Vec<usize> = (0..10_000).filter(|&i| i % 3 == 0).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn mut_iteration_covers_every_slot() {
+        let mut v = vec![0u32; 5_000];
+        v.par_iter_mut()
+            .with_min_len(64)
+            .enumerate()
+            .for_each(|(i, x)| *x = i as u32 + 1);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32 + 1));
+    }
+
+    #[test]
+    fn chunked_zip_matches_sequential_triad() {
+        let n = 4096;
+        let b: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let c: Vec<f32> = (0..n).map(|i| (i * 3) as f32).collect();
+        let mut a = vec![0.0f32; n];
+        a.par_chunks_mut(128)
+            .zip(b.par_chunks(128))
+            .zip(c.par_chunks(128))
+            .for_each(|((ac, bc), cc)| {
+                for i in 0..ac.len() {
+                    ac[i] = bc[i] * 2.0 + cc[i];
+                }
+            });
+        assert!(a
+            .iter()
+            .enumerate()
+            .all(|(i, &x)| x == (i as f32) * 2.0 + (i * 3) as f32));
+    }
+
+    #[test]
+    fn fold_collect_accumulates_everything() {
+        let parts: Vec<u64> = (0..100_000)
+            .into_par_iter()
+            .with_min_len(1024)
+            .fold(|| 0u64, |acc, i| acc + i as u64)
+            .collect();
+        let total: u64 = parts.into_iter().sum();
+        assert_eq!(total, 100_000u64 * 99_999 / 2);
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let s: f64 = (0..1000).into_par_iter().map(|i| i as f64).sum();
+        assert_eq!(s, 499_500.0);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let n = ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap()
+            .install(current_num_threads);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn broadcast_runs_once_per_worker() {
+        let ids = ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| broadcast(|ctx| ctx.index()));
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sort_by_orders() {
+        let mut v: Vec<u32> = (0..1000).rev().collect();
+        v.par_sort_unstable_by(|a, b| a.cmp(b));
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn thread_index_is_set_inside_regions() {
+        assert_eq!(current_thread_index(), None);
+        let seen = Mutex::new(Vec::new());
+        (0..100).into_par_iter().for_each(|_| {
+            seen.lock().unwrap().push(current_thread_index());
+        });
+        assert!(seen.lock().unwrap().iter().all(|i| i.is_some()));
+    }
+}

@@ -52,6 +52,9 @@ fn main() {
         // Show the dominant component's weight.
         let mut lambda: Vec<f64> = d.lambda.iter().map(|&l| l as f64).collect();
         lambda.sort_by(|a, b| b.partial_cmp(a).unwrap());
-        println!("         top component weights: {:?}", &lambda[..rank.min(4)]);
+        println!(
+            "         top component weights: {:?}",
+            &lambda[..rank.min(4)]
+        );
     }
 }

@@ -33,10 +33,16 @@ fn main() {
     println!("storage comparison:");
     println!("  COO    : {:>9} bytes", x.storage_bytes());
     let h = HicooTensor::from_coo(&x, 7).expect("hicoo");
-    println!("  HiCOO  : {:>9} bytes ({:.2}x COO)", h.storage_bytes(),
-        h.storage_bytes() as f64 / x.storage_bytes() as f64);
+    println!(
+        "  HiCOO  : {:>9} bytes ({:.2}x COO)",
+        h.storage_bytes(),
+        h.storage_bytes() as f64 / x.storage_bytes() as f64
+    );
     let g = GHicooTensor::from_coo_for_mode(&x, 7, x.order() - 1).expect("ghicoo");
-    println!("  gHiCOO : {:>9} bytes (product mode uncompressed)", g.storage_bytes());
+    println!(
+        "  gHiCOO : {:>9} bytes (product mode uncompressed)",
+        g.storage_bytes()
+    );
     let c = CsfTensor::from_coo(&x, None).expect("csf");
     println!("  CSF    : {:>9} bytes", c.storage_bytes());
 

@@ -37,7 +37,11 @@ fn main() {
     let t1 = rank_one(5.0, &u1);
     let t2 = rank_one(2.0, &u2);
     let x = tew::tew(&t1, &t2, EwOp::Add).expect("combine components");
-    println!("X = 5 u1^3 + 2 u2^3 over {}: {} nonzeros", x.shape(), x.nnz());
+    println!(
+        "X = 5 u1^3 + 2 u2^3 over {}: {} nonzeros",
+        x.shape(),
+        x.nnz()
+    );
 
     // First eigen-pair.
     let r1 = tensor_power_method(&x, 200, 1e-12, 3).expect("power method");

@@ -25,7 +25,12 @@ fn main() {
         ],
     )
     .expect("valid entries");
-    println!("X: {} tensor, {} nonzeros, density {:.2e}", x.shape(), x.nnz(), x.density());
+    println!(
+        "X: {} tensor, {} nonzeros, density {:.2e}",
+        x.shape(),
+        x.nnz(),
+        x.density()
+    );
 
     // HiCOO: the same tensor in 2^2 = 4-wide blocks.
     let h = HicooTensor::from_coo(&x, 2).expect("valid block bits");
@@ -39,7 +44,11 @@ fn main() {
     // Tew: element-wise multiply with a same-pattern partner.
     let y = ts::ts(&x, 2.0, EwOp::Mul).expect("scalar multiply");
     let z = tew::tew(&x, &y, EwOp::Add).expect("element-wise add");
-    println!("Tew: X + 2X has {} nonzeros; first value {}", z.nnz(), z.vals()[0]);
+    println!(
+        "Tew: X + 2X has {} nonzeros; first value {}",
+        z.nnz(),
+        z.vals()[0]
+    );
 
     // Ttv: contract mode 2 with a vector.
     let v = DenseVector::from_fn(8, |i| (i + 1) as f32);
@@ -57,11 +66,15 @@ fn main() {
     );
 
     // Mttkrp: the CP-decomposition workhorse.
-    let factors: Vec<DenseMatrix<f32>> =
-        (0..3).map(|_| DenseMatrix::constant(8, 4, 0.5)).collect();
+    let factors: Vec<DenseMatrix<f32>> = (0..3).map(|_| DenseMatrix::constant(8, 4, 0.5)).collect();
     let frefs: Vec<&DenseMatrix<f32>> = factors.iter().collect();
     let mk = mttkrp::mttkrp(&x, &frefs, 0).expect("mttkrp");
-    println!("Mttkrp: output {}x{}, row 0 = {:?}", mk.rows(), mk.cols(), mk.row(0));
+    println!(
+        "Mttkrp: output {}x{}, row 0 = {:?}",
+        mk.rows(),
+        mk.cols(),
+        mk.row(0)
+    );
 
     // The same kernels over HiCOO agree with COO.
     let mk_h = mttkrp::mttkrp_hicoo(&h, &frefs, 0).expect("hicoo mttkrp");

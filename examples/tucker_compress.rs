@@ -43,14 +43,9 @@ fn main() {
         })
         .collect();
 
-    let chain: Vec<(usize, &DenseMatrix<f32>)> =
-        factors.iter().enumerate().collect();
+    let chain: Vec<(usize, &DenseMatrix<f32>)> = factors.iter().enumerate().collect();
     let core = ttm_chain(&x, &chain).expect("ttm chain");
-    println!(
-        "core: {} with {} stored values",
-        core.shape(),
-        core.nnz()
-    );
+    println!("core: {} with {} stored values", core.shape(), core.nnz());
 
     let dense_core_bytes = 4 * ranks.iter().product::<usize>() as u64;
     let factor_bytes: u64 = factors.iter().map(|f| f.storage_bytes()).sum();

@@ -51,7 +51,9 @@ fn kernels_agree_tightly_in_f64() {
     // Tew / Ts.
     assert_eq!(
         tew::tew_same_pattern(&x, &y, EwOp::Add).unwrap().to_map(),
-        tew::tew_hicoo_same_pattern(&h, &hy, EwOp::Add).unwrap().to_map()
+        tew::tew_hicoo_same_pattern(&h, &hy, EwOp::Add)
+            .unwrap()
+            .to_map()
     );
 
     // Ttv / Ttm / Mttkrp per mode, COO vs HiCOO, 1e-12 relative.
@@ -93,7 +95,9 @@ fn contraction_and_cp_als_run_in_f64() {
     let x = sample();
     let y = CooTensor::<f64>::from_entries(
         Shape::new(vec![17, 6]),
-        (0..40u32).map(|i| (vec![i % 17, i % 6], i as f64 * 0.5)).collect(),
+        (0..40u32)
+            .map(|i| (vec![i % 17, i % 6], i as f64 * 0.5))
+            .collect(),
     )
     .unwrap();
     // (3-1) free modes of x plus (2-1) of y.

@@ -65,18 +65,15 @@ fn format_conversion_failures() {
 #[test]
 fn kernel_operand_failures() {
     let x = sample();
-    let y = CooTensor::from_entries(Shape::new(vec![4, 5, 7]), vec![(vec![0, 0, 0], 1.0f32)])
-        .unwrap();
+    let y =
+        CooTensor::from_entries(Shape::new(vec![4, 5, 7]), vec![(vec![0, 0, 0], 1.0f32)]).unwrap();
     // Shape mismatch in Tew.
     assert!(matches!(
         tew::tew(&x, &y, EwOp::Add),
         Err(TensorError::ShapeMismatch { .. })
     ));
     // Division by zero scalar in Ts.
-    assert_eq!(
-        ts::ts(&x, 0.0, EwOp::Div),
-        Err(TensorError::DivisionByZero)
-    );
+    assert_eq!(ts::ts(&x, 0.0, EwOp::Div), Err(TensorError::DivisionByZero));
     // Wrong vector length / bad mode in Ttv.
     assert!(matches!(
         ttv::ttv(&x, &DenseVector::constant(5, 1.0f32), 2),
@@ -137,7 +134,8 @@ fn io_failures_are_parse_errors_not_panics() {
     let r: std::result::Result<CooTensor<f32>, IoError> = tns::read_tns(&b"not a tensor"[..]);
     assert!(matches!(r, Err(IoError::Parse(_))));
     // Mixed arity.
-    let r: std::result::Result<CooTensor<f32>, IoError> = tns::read_tns(&b"1 1 1 2.0\n1 1 2.0\n"[..]);
+    let r: std::result::Result<CooTensor<f32>, IoError> =
+        tns::read_tns(&b"1 1 1 2.0\n1 1 2.0\n"[..]);
     assert!(matches!(r, Err(IoError::Parse(_))));
     // Truncated binary at every interesting boundary.
     let mut blob = Vec::new();
@@ -160,11 +158,21 @@ fn io_failures_are_parse_errors_not_panics() {
 fn errors_format_without_panicking() {
     // Exercise the Display impl of every error variant reachable here.
     let errors: Vec<TensorError> = vec![
-        TensorError::ShapeMismatch { left: vec![1], right: vec![2] },
+        TensorError::ShapeMismatch {
+            left: vec![1],
+            right: vec![2],
+        },
         TensorError::OrderMismatch { left: 2, right: 3 },
         TensorError::ModeOutOfRange { mode: 9, order: 3 },
-        TensorError::IndexOutOfBounds { mode: 0, index: 5, dim: 4 },
-        TensorError::OperandLengthMismatch { expected: 4, actual: 5 },
+        TensorError::IndexOutOfBounds {
+            mode: 0,
+            index: 5,
+            dim: 4,
+        },
+        TensorError::OperandLengthMismatch {
+            expected: 4,
+            actual: 5,
+        },
         TensorError::PatternMismatch,
         TensorError::OrderTooSmall { min: 2, actual: 1 },
         TensorError::InvalidBlockBits(0),

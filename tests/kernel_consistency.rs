@@ -37,16 +37,32 @@ fn tew_ts_agree_across_formats_and_devices() {
         let y = ts::ts(&x, 3.0, EwOp::Mul).unwrap();
         let hx = HicooTensor::from_coo(&x, BLOCK_BITS).unwrap();
         let hy = HicooTensor::from_coo(&y, BLOCK_BITS).unwrap();
-        let base = tew::tew_same_pattern_seq(&x, &y, EwOp::Add).unwrap().to_map();
-        assert_eq!(tew::tew_same_pattern(&x, &y, EwOp::Add).unwrap().to_map(), base);
+        let base = tew::tew_same_pattern_seq(&x, &y, EwOp::Add)
+            .unwrap()
+            .to_map();
         assert_eq!(
-            tew::tew_hicoo_same_pattern(&hx, &hy, EwOp::Add).unwrap().to_map(),
+            tew::tew_same_pattern(&x, &y, EwOp::Add).unwrap().to_map(),
+            base
+        );
+        assert_eq!(
+            tew::tew_hicoo_same_pattern(&hx, &hy, EwOp::Add)
+                .unwrap()
+                .to_map(),
             base
         );
         let dev = DeviceSpec::p100();
-        assert_eq!(gpuk::tew_coo_gpu(&dev, &x, &y, EwOp::Add).unwrap().0.to_map(), base);
         assert_eq!(
-            gpuk::tew_hicoo_gpu(&dev, &hx, &hy, EwOp::Add).unwrap().0.to_map(),
+            gpuk::tew_coo_gpu(&dev, &x, &y, EwOp::Add)
+                .unwrap()
+                .0
+                .to_map(),
+            base
+        );
+        assert_eq!(
+            gpuk::tew_hicoo_gpu(&dev, &hx, &hy, EwOp::Add)
+                .unwrap()
+                .0
+                .to_map(),
             base
         );
 
@@ -54,7 +70,10 @@ fn tew_ts_agree_across_formats_and_devices() {
         assert_eq!(ts::ts(&x, 0.25, EwOp::Mul).unwrap().to_map(), tsbase);
         assert_eq!(ts::ts_hicoo(&hx, 0.25, EwOp::Mul).unwrap().to_map(), tsbase);
         assert_eq!(
-            gpuk::ts_coo_gpu(&dev, &x, 0.25, EwOp::Mul).unwrap().0.to_map(),
+            gpuk::ts_coo_gpu(&dev, &x, 0.25, EwOp::Mul)
+                .unwrap()
+                .0
+                .to_map(),
             tsbase
         );
     }
@@ -73,7 +92,9 @@ fn ttv_agrees_across_formats_and_devices() {
             let fp = xm.fibers(mode).unwrap();
             let base = ttv::ttv_prepared_seq(&xm, &fp, &v).unwrap().to_map();
             assert_eq!(
-                ttv::ttv_prepared(&xm, &fp, &v, Schedule::Static).unwrap().to_map(),
+                ttv::ttv_prepared(&xm, &fp, &v, Schedule::Static)
+                    .unwrap()
+                    .to_map(),
                 base
             );
             let g = GHicooTensor::from_coo_for_mode(&x, BLOCK_BITS, mode).unwrap();

@@ -72,9 +72,7 @@ fn power_method_runs_on_kronecker_tensor() {
     let x64 = g.generate(17);
     let x: tenbench::core::coo::CooTensor<f64> = tenbench::core::coo::CooTensor::from_entries(
         x64.shape().clone(),
-        x64.iter_entries()
-            .map(|(c, v)| (c, v as f64))
-            .collect(),
+        x64.iter_entries().map(|(c, v)| (c, v as f64)).collect(),
     )
     .unwrap();
     let r = tensor_power_method(&x, 60, 1e-9, 5).unwrap();

@@ -18,13 +18,11 @@ fn arb_tensor() -> impl Strategy<Value = CooTensor<f32>> {
             let dims = prop::collection::vec(1u32..12, order);
             dims.prop_flat_map(move |dims| {
                 let shape = Shape::new(dims.clone());
-                let coord = dims
-                    .iter()
-                    .map(|&d| (0u32..d).boxed())
-                    .collect::<Vec<_>>();
+                let coord = dims.iter().map(|&d| (0u32..d).boxed()).collect::<Vec<_>>();
                 let entry = (coord, -100i32..100).prop_map(|(c, v)| (c, v as f32 * 0.5));
-                prop::collection::vec(entry, 0..40)
-                    .prop_map(move |entries| CooTensor::from_entries(shape.clone(), entries).unwrap())
+                prop::collection::vec(entry, 0..40).prop_map(move |entries| {
+                    CooTensor::from_entries(shape.clone(), entries).unwrap()
+                })
             })
         })
         .no_shrink()

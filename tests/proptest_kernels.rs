@@ -7,6 +7,7 @@ use proptest::prelude::*;
 use tenbench::core::coo::CooTensor;
 use tenbench::core::dense::{DenseMatrix, DenseVector};
 use tenbench::core::hicoo::HicooTensor;
+use tenbench::core::kernels::mttkrp::MttkrpStrategy;
 use tenbench::core::kernels::{mttkrp, tew, ts, ttm, ttv, EwOp};
 use tenbench::core::scalar::approx_eq;
 use tenbench::prelude::*;
@@ -17,13 +18,11 @@ fn arb_tensor() -> impl Strategy<Value = CooTensor<f64>> {
             let dims = prop::collection::vec(1u32..10, order);
             dims.prop_flat_map(move |dims| {
                 let shape = Shape::new(dims.clone());
-                let coord = dims
-                    .iter()
-                    .map(|&d| (0u32..d).boxed())
-                    .collect::<Vec<_>>();
+                let coord = dims.iter().map(|&d| (0u32..d).boxed()).collect::<Vec<_>>();
                 let entry = (coord, -50i32..50).prop_map(|(c, v)| (c, v as f64 * 0.25));
-                prop::collection::vec(entry, 1..30)
-                    .prop_map(move |entries| CooTensor::from_entries(shape.clone(), entries).unwrap())
+                prop::collection::vec(entry, 1..30).prop_map(move |entries| {
+                    CooTensor::from_entries(shape.clone(), entries).unwrap()
+                })
             })
         })
         .no_shrink()
@@ -36,11 +35,7 @@ fn arb_tensor_pair() -> impl Strategy<Value = (CooTensor<f64>, CooTensor<f64>)> 
             let dims = prop::collection::vec(1u32..10, order);
             dims.prop_flat_map(move |dims| {
                 let shape = Shape::new(dims.clone());
-                let coord = || {
-                    dims.iter()
-                        .map(|&d| (0u32..d).boxed())
-                        .collect::<Vec<_>>()
-                };
+                let coord = || dims.iter().map(|&d| (0u32..d).boxed()).collect::<Vec<_>>();
                 let entry = |c: Vec<BoxedStrategy<u32>>| {
                     (c, -50i32..50).prop_map(|(c, v)| (c, v as f64 * 0.25))
                 };
@@ -156,6 +151,45 @@ proptest! {
     }
 
     #[test]
+    fn scheduled_mttkrp_matches_seq_on_random_tensors(x in arb_tensor(), bits in 1u8..=6) {
+        let h = HicooTensor::from_coo(&x, bits).unwrap();
+        let factors: Vec<DenseMatrix<f64>> = (0..x.order())
+            .map(|m| DenseMatrix::from_fn(x.shape().dim(m) as usize, 3, |i, j| {
+                ((i + 3 * j + m) % 7) as f64 * 0.5 - 1.5
+            }))
+            .collect();
+        let frefs: Vec<&DenseMatrix<f64>> = factors.iter().collect();
+        for mode in 0..x.order() {
+            let reference = mttkrp::mttkrp_seq(&x, &frefs, mode).unwrap();
+            let coo_sched = mttkrp::mttkrp_with(&x, &frefs, mode, MttkrpStrategy::Scheduled).unwrap();
+            let hic_sched = mttkrp::mttkrp_hicoo_sched(&h, &frefs, mode).unwrap();
+            for (p, q) in reference.data().iter().zip(coo_sched.data()) {
+                prop_assert!(approx_eq(*p, *q, 1e-5), "coo mode {mode}: {p} vs {q}");
+            }
+            for (p, q) in reference.data().iter().zip(hic_sched.data()) {
+                prop_assert!(approx_eq(*p, *q, 1e-5), "hicoo mode {mode}: {p} vs {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_ttv_ttm_match_reference_on_random_tensors(x in arb_tensor(), bits in 1u8..=6) {
+        let h = HicooTensor::from_coo(&x, bits).unwrap();
+        for mode in 0..x.order() {
+            let n = x.shape().dim(mode) as usize;
+            let v = DenseVector::from_fn(n, |i| (i as f64 * 0.7) - 1.0);
+            let want = ttv::ttv(&x, &v, mode).unwrap().to_map();
+            let got = ttv::ttv_hicoo_sched(&h, &v, mode).unwrap().to_map();
+            prop_assert!(maps_close(&want, &got, 1e-5), "ttv mode {mode}");
+
+            let u = DenseMatrix::from_fn(n, 2, |i, j| ((i + 2 * j) % 5) as f64 - 2.0);
+            let want = ttm::ttm(&x, &u, mode).unwrap().to_map();
+            let got = ttm::ttm_hicoo_sched(&h, &u, mode).unwrap().to_map();
+            prop_assert!(maps_close(&want, &got, 1e-5), "ttm mode {mode}");
+        }
+    }
+
+    #[test]
     fn hicoo_kernels_match_coo_on_random_tensors(x in arb_tensor(), bits in 1u8..=6, mode in 0usize..3) {
         let mode = mode % x.order();
         let h = HicooTensor::from_coo(&x, bits).unwrap();
@@ -175,5 +209,77 @@ proptest! {
         for (p, q) in a.data().iter().zip(b.data()) {
             prop_assert!(approx_eq(*p, *q, 1e-9));
         }
+    }
+}
+
+/// Deterministic edge cases for the scheduled kernels that random tensors
+/// are unlikely to hit: no nonzeros at all, a single occupied block, and
+/// every nonzero landing in one output row-block (a single schedule group
+/// carrying the full tensor).
+mod scheduled_edge_cases {
+    use super::*;
+
+    fn check_all_scheduled(x: &CooTensor<f64>, bits: u8) {
+        let h = HicooTensor::from_coo(x, bits).unwrap();
+        let factors: Vec<DenseMatrix<f64>> = (0..x.order())
+            .map(|m| {
+                DenseMatrix::from_fn(x.shape().dim(m) as usize, 4, |i, j| {
+                    ((i + j + m) % 3) as f64 + 0.5
+                })
+            })
+            .collect();
+        let frefs: Vec<&DenseMatrix<f64>> = factors.iter().collect();
+        for mode in 0..x.order() {
+            let want = mttkrp::mttkrp_seq(x, &frefs, mode).unwrap();
+            let coo = mttkrp::mttkrp_with(x, &frefs, mode, MttkrpStrategy::Scheduled).unwrap();
+            let hic = mttkrp::mttkrp_hicoo_sched(&h, &frefs, mode).unwrap();
+            for (p, q) in want.data().iter().zip(coo.data()) {
+                assert!(approx_eq(*p, *q, 1e-5), "coo mttkrp mode {mode}");
+            }
+            for (p, q) in want.data().iter().zip(hic.data()) {
+                assert!(approx_eq(*p, *q, 1e-5), "hicoo mttkrp mode {mode}");
+            }
+
+            let n = x.shape().dim(mode) as usize;
+            let v = DenseVector::from_fn(n, |i| i as f64 + 1.0);
+            let want = ttv::ttv(x, &v, mode).unwrap().to_map();
+            let got = ttv::ttv_hicoo_sched(&h, &v, mode).unwrap().to_map();
+            assert_eq!(want, got, "ttv mode {mode}");
+
+            let u = DenseMatrix::from_fn(n, 2, |i, j| (i + j) as f64 * 0.25);
+            let want = ttm::ttm(x, &u, mode).unwrap().to_map();
+            let got = ttm::ttm_hicoo_sched(&h, &u, mode).unwrap().to_map();
+            assert_eq!(want, got, "ttm mode {mode}");
+        }
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let x = CooTensor::<f64>::empty(Shape::new(vec![6, 5, 4]));
+        check_all_scheduled(&x, 2);
+    }
+
+    #[test]
+    fn single_block() {
+        // All coordinates below 4 with 2-bit blocks: exactly one block.
+        let entries = vec![
+            (vec![0, 1, 2], 1.5),
+            (vec![3, 3, 3], -2.0),
+            (vec![0, 0, 0], 0.75),
+            (vec![2, 1, 0], 4.0),
+        ];
+        let x = CooTensor::from_entries(Shape::new(vec![16, 16, 16]), entries).unwrap();
+        check_all_scheduled(&x, 2);
+    }
+
+    #[test]
+    fn all_nnz_in_one_output_row_block() {
+        // Mode-0 coordinates all in [0, 4): one mode-0 row block, so the
+        // mode-0 schedule has a single group holding every block.
+        let entries: Vec<(Vec<u32>, f64)> = (0..200u32)
+            .map(|k| (vec![k % 4, k % 13, k % 7], (k as f64) * 0.125 - 3.0))
+            .collect();
+        let x = CooTensor::from_entries(Shape::new(vec![64, 16, 8]), entries).unwrap();
+        check_all_scheduled(&x, 2);
     }
 }
