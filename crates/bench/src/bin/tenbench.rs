@@ -7,9 +7,19 @@
 //! tenbench kernel   <tew|ts|ttv|ttm|mttkrp> <file> [--mode N] [--rank R]
 //!                   [--format coo|hicoo] [--block-bits B] [--reps K]
 //!                   [--strategy seq|atomic|privatized|row_locked|scheduled]
+//!                   [--max-seconds S] [--fallback on|off]
 //! tenbench ablate-mttkrp [--dataset s4] [--nnz N] [--rank R]
 //!                   [--block-bits B] [--reps K] [--out results.json]
+//!                   [--max-seconds S]
+//! tenbench verify   <file> [--block-bits B] [--rank R] [--max-seconds S]
 //! ```
+//!
+//! `--max-seconds` or `--fallback` switch `kernel` to supervised mode:
+//! the run executes on a watchdogged worker thread under panic isolation,
+//! the output is validated (NaN/Inf scan; Mttkrp additionally checksums
+//! against the sequential reference), and on failure the strategy falls
+//! back through the chain (e.g. `scheduled -> atomic -> privatized ->
+//! seq`). `verify` runs the full integrity battery on one tensor file.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -52,6 +62,28 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
             .unwrap_or(Ok(default))
     };
     let block_bits = get_usize("block-bits", 7)? as u8;
+    let max_seconds: Option<f64> = opts
+        .get("max-seconds")
+        .map(|v| v.parse().map_err(|_| "bad --max-seconds".to_string()))
+        .transpose()?;
+    let fallback: Option<bool> = opts
+        .get("fallback")
+        .map(|v| match v.as_str() {
+            "on" | "true" => Ok(true),
+            "off" | "false" => Ok(false),
+            _ => Err("bad --fallback (expected on or off)".to_string()),
+        })
+        .transpose()?;
+    let supervisor_cfg = || {
+        let mut cfg = tenbench_bench::supervisor::SupervisorConfig::default();
+        if let Some(s) = max_seconds {
+            cfg.max_seconds = s;
+        }
+        if let Some(f) = fallback {
+            cfg.fallback = f;
+        }
+        cfg
+    };
 
     match pos.first().map(String::as_str) {
         Some("convert") => {
@@ -88,16 +120,35 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
             let [_, kernel, input] = &pos[..] else {
                 return Err("usage: tenbench kernel <name> <file> [options]".into());
             };
-            Ok(cli::run_kernel(
-                kernel,
-                &PathBuf::from(input),
-                get_usize("mode", 0)?,
-                get_usize("rank", 16)?,
-                opts.get("format").map(String::as_str).unwrap_or("coo"),
-                block_bits,
-                get_usize("reps", 5)?,
-                opts.get("strategy").map(String::as_str).unwrap_or("atomic"),
-            )?)
+            let mode = get_usize("mode", 0)?;
+            let rank = get_usize("rank", 16)?;
+            let format = opts.get("format").map(String::as_str).unwrap_or("coo");
+            let reps = get_usize("reps", 5)?;
+            let strategy = opts.get("strategy").map(String::as_str).unwrap_or("atomic");
+            if max_seconds.is_some() || fallback.is_some() {
+                Ok(cli::run_kernel_supervised(
+                    kernel,
+                    &PathBuf::from(input),
+                    mode,
+                    rank,
+                    format,
+                    block_bits,
+                    reps,
+                    strategy,
+                    &supervisor_cfg(),
+                )?)
+            } else {
+                Ok(cli::run_kernel(
+                    kernel,
+                    &PathBuf::from(input),
+                    mode,
+                    rank,
+                    format,
+                    block_bits,
+                    reps,
+                    strategy,
+                )?)
+            }
         }
         Some("ablate-mttkrp") => Ok(cli::ablate_mttkrp(
             opts.get("dataset").map(String::as_str).unwrap_or("s4"),
@@ -106,7 +157,24 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
             block_bits,
             get_usize("reps", 3)?,
             opts.get("out").map(PathBuf::from).as_deref(),
+            &supervisor_cfg(),
         )?),
-        _ => Err("usage: tenbench <convert|stats|generate|kernel|ablate-mttkrp> ... (see --help in the module docs)".into()),
+        Some("verify") => {
+            let [_, input] = &pos[..] else {
+                return Err("usage: tenbench verify <file> [--block-bits B] [--rank R]".into());
+            };
+            let report = cli::verify(
+                &PathBuf::from(input),
+                block_bits,
+                get_usize("rank", 8)?,
+                &supervisor_cfg(),
+            )?;
+            if report.contains("VERIFY FAIL") {
+                eprint!("{report}");
+                return Err("verification failed".into());
+            }
+            Ok(report)
+        }
+        _ => Err("usage: tenbench <convert|stats|generate|kernel|ablate-mttkrp|verify> ... (see --help in the module docs)".into()),
     }
 }

@@ -9,6 +9,7 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
+use std::sync::Arc;
 
 use tenbench_core::coo::CooTensor;
 use tenbench_core::dense::{DenseMatrix, DenseVector};
@@ -19,6 +20,7 @@ use tenbench_gen::{KroneckerGenerator, PowerLawGenerator, TensorStats};
 
 use crate::format::{fint, fnum, TextTable};
 use crate::suite::{make_factors, make_partner, time_avg};
+use crate::supervisor::{self, RunReport, SupervisorConfig, Trial};
 
 /// CLI errors: anything the underlying crates report, plus usage problems.
 #[derive(Debug)]
@@ -363,6 +365,398 @@ pub fn run_kernel_on(
     ))
 }
 
+/// `kernel ... --max-seconds S` / `--fallback on`: run one kernel under
+/// supervision (watchdog timeout, panic isolation, strategy fallback,
+/// output validation) and report the structured outcome alongside the
+/// timing. Unlike [`run_kernel`], each attempt times a single guarded
+/// execution; `reps` only affects the timing average inside an attempt.
+#[allow(clippy::too_many_arguments)]
+pub fn run_kernel_supervised(
+    kernel: &str,
+    input: &Path,
+    mode: usize,
+    rank: usize,
+    format: &str,
+    block_bits: u8,
+    reps: usize,
+    strategy: &str,
+    cfg: &SupervisorConfig,
+) -> CliResult<String> {
+    let x = load_tensor(input)?;
+    run_kernel_supervised_on(
+        &x, kernel, mode, rank, format, block_bits, reps, strategy, cfg,
+    )
+}
+
+/// Supervised single-kernel run on an in-memory tensor (see
+/// [`run_kernel_supervised`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_kernel_supervised_on(
+    x: &CooTensor<f32>,
+    kernel: &str,
+    mode: usize,
+    rank: usize,
+    format: &str,
+    block_bits: u8,
+    reps: usize,
+    strategy: &str,
+    cfg: &SupervisorConfig,
+) -> CliResult<String> {
+    x.shape().check_mode(mode)?;
+    let hicoo = match format {
+        "coo" => false,
+        "hicoo" => true,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown format {other:?} (expected coo or hicoo)"
+            )))
+        }
+    };
+    let m = x.nnz() as u64;
+    let order = x.order();
+    let cell = format!("{kernel}/{format}/{strategy}/mode{mode}");
+    let xa = Arc::new(x.clone());
+    let count_bad = |vals: &[f32]| vals.iter().filter(|v| !v.is_finite()).count();
+
+    let (kname, report) = match kernel {
+        "mttkrp" => {
+            let strat = parse_strategy(strategy)?;
+            let factors = Arc::new(make_factors(x, rank));
+            let hx = if hicoo {
+                Some(Arc::new(HicooTensor::from_coo(x, block_bits)?))
+            } else {
+                None
+            };
+            let (report, _) =
+                supervisor::supervised_mttkrp(&cell, &xa, &factors, mode, hx.as_ref(), strat, cfg);
+            (Kernel::Mttkrp, report)
+        }
+        "tew" => {
+            let trial = if hicoo {
+                let hx = Arc::new(HicooTensor::from_coo(x, block_bits)?);
+                let hy = Arc::new(HicooTensor::from_coo(&make_partner(x), block_bits)?);
+                Trial::new("same_pattern", move || {
+                    let out = tew::tew_hicoo_same_pattern(&hx, &hy, EwOp::Add)
+                        .map_err(|e| e.to_string())?;
+                    let secs = time_avg(reps, || {
+                        std::hint::black_box(
+                            tew::tew_hicoo_same_pattern(&hx, &hy, EwOp::Add).unwrap(),
+                        );
+                    });
+                    Ok((secs, out.nonfinite_count()))
+                })
+            } else {
+                let ya = Arc::new(make_partner(x));
+                let xa = xa.clone();
+                Trial::new("same_pattern", move || {
+                    let out =
+                        tew::tew_same_pattern(&xa, &ya, EwOp::Add).map_err(|e| e.to_string())?;
+                    let secs = time_avg(reps, || {
+                        std::hint::black_box(tew::tew_same_pattern(&xa, &ya, EwOp::Add).unwrap());
+                    });
+                    Ok((secs, out.nonfinite_count()))
+                })
+            };
+            let (report, _) = supervise_scalar(&cell, vec![trial], cfg);
+            (Kernel::Tew, report)
+        }
+        "ts" => {
+            let trial = if hicoo {
+                let hx = Arc::new(HicooTensor::from_coo(x, block_bits)?);
+                Trial::new("default", move || {
+                    let out = ts::ts_hicoo(&hx, 1.01, EwOp::Mul).map_err(|e| e.to_string())?;
+                    let secs = time_avg(reps, || {
+                        std::hint::black_box(ts::ts_hicoo(&hx, 1.01, EwOp::Mul).unwrap());
+                    });
+                    Ok((secs, out.nonfinite_count()))
+                })
+            } else {
+                let xa = xa.clone();
+                Trial::new("default", move || {
+                    let out = ts::ts(&xa, 1.01, EwOp::Mul).map_err(|e| e.to_string())?;
+                    let secs = time_avg(reps, || {
+                        std::hint::black_box(ts::ts(&xa, 1.01, EwOp::Mul).unwrap());
+                    });
+                    Ok((secs, out.nonfinite_count()))
+                })
+            };
+            let (report, _) = supervise_scalar(&cell, vec![trial], cfg);
+            (Kernel::Ts, report)
+        }
+        "ttv" => {
+            let v = Arc::new(DenseVector::constant(x.shape().dim(mode) as usize, 1.0f32));
+            let trials = if hicoo {
+                let hx = Arc::new(HicooTensor::from_coo(x, block_bits)?);
+                let sched = {
+                    let hx = hx.clone();
+                    let v = v.clone();
+                    Trial::new("scheduled", move || {
+                        let out = ttv::ttv_hicoo_sched(&hx, &v, mode).map_err(|e| e.to_string())?;
+                        let secs = time_avg(reps, || {
+                            std::hint::black_box(ttv::ttv_hicoo_sched(&hx, &v, mode).unwrap());
+                        });
+                        Ok((secs, out.nonfinite_count()))
+                    })
+                };
+                let default = {
+                    let xa = xa.clone();
+                    let v = v.clone();
+                    Trial::new("ghicoo", move || {
+                        let g = tenbench_core::hicoo::GHicooTensor::from_coo_for_mode(
+                            &xa, block_bits, mode,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        let fp = g.fibers(mode).map_err(|e| e.to_string())?;
+                        let out = ttv::ttv_ghicoo(&g, &fp, &v, Default::default())
+                            .map_err(|e| e.to_string())?;
+                        let secs = time_avg(reps, || {
+                            std::hint::black_box(
+                                ttv::ttv_ghicoo(&g, &fp, &v, Default::default()).unwrap(),
+                            );
+                        });
+                        Ok((secs, out.nonfinite_count()))
+                    })
+                };
+                if strategy == "scheduled" {
+                    vec![sched, default]
+                } else {
+                    vec![default, sched]
+                }
+            } else {
+                let xa = xa.clone();
+                let v = v.clone();
+                vec![Trial::new("default", move || {
+                    let mut xm = (*xa).clone();
+                    let fp = xm.fibers(mode).map_err(|e| e.to_string())?;
+                    let out = ttv::ttv_prepared(&xm, &fp, &v, Default::default())
+                        .map_err(|e| e.to_string())?;
+                    let secs = time_avg(reps, || {
+                        std::hint::black_box(
+                            ttv::ttv_prepared(&xm, &fp, &v, Default::default()).unwrap(),
+                        );
+                    });
+                    Ok((secs, out.nonfinite_count()))
+                })]
+            };
+            let (report, _) = supervise_scalar(&cell, trials, cfg);
+            (Kernel::Ttv, report)
+        }
+        "ttm" => {
+            let u = Arc::new(DenseMatrix::constant(
+                x.shape().dim(mode) as usize,
+                rank,
+                0.5f32,
+            ));
+            let trials = if hicoo {
+                let hx = Arc::new(HicooTensor::from_coo(x, block_bits)?);
+                let sched = {
+                    let hx = hx.clone();
+                    let u = u.clone();
+                    Trial::new("scheduled", move || {
+                        let out = ttm::ttm_hicoo_sched(&hx, &u, mode).map_err(|e| e.to_string())?;
+                        let secs = time_avg(reps, || {
+                            std::hint::black_box(ttm::ttm_hicoo_sched(&hx, &u, mode).unwrap());
+                        });
+                        Ok((secs, count_bad(out.vals())))
+                    })
+                };
+                let default = {
+                    let xa = xa.clone();
+                    let u = u.clone();
+                    Trial::new("ghicoo", move || {
+                        let g = tenbench_core::hicoo::GHicooTensor::from_coo_for_mode(
+                            &xa, block_bits, mode,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        let fp = g.fibers(mode).map_err(|e| e.to_string())?;
+                        let out = ttm::ttm_ghicoo(&g, &fp, &u, Default::default())
+                            .map_err(|e| e.to_string())?;
+                        let secs = time_avg(reps, || {
+                            std::hint::black_box(
+                                ttm::ttm_ghicoo(&g, &fp, &u, Default::default()).unwrap(),
+                            );
+                        });
+                        Ok((secs, count_bad(out.vals())))
+                    })
+                };
+                if strategy == "scheduled" {
+                    vec![sched, default]
+                } else {
+                    vec![default, sched]
+                }
+            } else {
+                let xa = xa.clone();
+                let u = u.clone();
+                vec![Trial::new("default", move || {
+                    let mut xm = (*xa).clone();
+                    let fp = xm.fibers(mode).map_err(|e| e.to_string())?;
+                    let out = ttm::ttm_prepared(&xm, &fp, &u, Default::default())
+                        .map_err(|e| e.to_string())?;
+                    let secs = time_avg(reps, || {
+                        std::hint::black_box(
+                            ttm::ttm_prepared(&xm, &fp, &u, Default::default()).unwrap(),
+                        );
+                    });
+                    Ok((secs, count_bad(out.vals())))
+                })]
+            };
+            let (report, _) = supervise_scalar(&cell, trials, cfg);
+            (Kernel::Ttm, report)
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown kernel {other:?} (expected tew, ts, ttv, ttm, or mttkrp)"
+            )))
+        }
+    };
+    let flops = kname.flops(order, m, rank as u64);
+    Ok(render_supervised(x, &report, flops))
+}
+
+/// Supervise a chain of `(kernel seconds, non-finite count)` trials,
+/// accepting only all-finite outputs.
+fn supervise_scalar(
+    cell: &str,
+    trials: Vec<Trial<(f64, usize)>>,
+    cfg: &SupervisorConfig,
+) -> (RunReport, Option<(f64, usize)>) {
+    supervisor::supervise(
+        cell,
+        &trials,
+        |&(_, bad)| {
+            if bad == 0 {
+                Ok(None)
+            } else {
+                Err(format!("{bad} non-finite values in output"))
+            }
+        },
+        cfg,
+    )
+}
+
+fn render_supervised(x: &CooTensor<f32>, report: &RunReport, flops: u64) -> String {
+    let mut out = String::new();
+    if report.status.is_success() {
+        let t = report.time_s.unwrap_or(f64::INFINITY);
+        out.push_str(&format!(
+            "{} on {} ({} nnz): status {} via {} in {} s = {} GFLOPS\n",
+            report.cell,
+            x.shape(),
+            fint(x.nnz() as u64),
+            report.status,
+            report.strategy.as_deref().unwrap_or("?"),
+            fnum(t),
+            fnum(flops as f64 / t / 1e9)
+        ));
+    } else {
+        out.push_str(&format!(
+            "{} on {} ({} nnz): status {}\n",
+            report.cell,
+            x.shape(),
+            fint(x.nnz() as u64),
+            report.status
+        ));
+    }
+    out.push_str(&report.to_json());
+    out.push('\n');
+    out
+}
+
+/// `verify <file>`: hardened load, structural validation of both formats,
+/// NaN/Inf scan, and a supervised Mttkrp checksum comparison against the
+/// sequential reference. Returns a report ending in `VERIFY PASS` or
+/// `VERIFY FAIL`; load failures (corrupt file, oversized header) are
+/// reported as errors by the hardened reader itself.
+pub fn verify(
+    input: &Path,
+    block_bits: u8,
+    rank: usize,
+    cfg: &SupervisorConfig,
+) -> CliResult<String> {
+    let t = load_tensor(input)?;
+    let mut out = format!(
+        "verify {}: {} tensor, {} nonzeros\n",
+        input.display(),
+        t.shape(),
+        fint(t.nnz() as u64)
+    );
+    let mut ok = true;
+    let mut check = |label: &str, r: Result<(), String>, out: &mut String| match r {
+        Ok(()) => out.push_str(&format!("  {label}: ok\n")),
+        Err(e) => {
+            ok = false;
+            out.push_str(&format!("  {label}: FAIL ({e})\n"));
+        }
+    };
+    check(
+        "coo structure",
+        t.validate().map_err(|e| e.to_string()),
+        &mut out,
+    );
+    let nf = t.nonfinite_count();
+    check(
+        "values finite",
+        if nf == 0 {
+            Ok(())
+        } else {
+            Err(format!("{nf} non-finite values"))
+        },
+        &mut out,
+    );
+    let hx = match HicooTensor::from_coo(&t, block_bits) {
+        Ok(h) => {
+            check(
+                "hicoo structure",
+                h.validate().map_err(|e| e.to_string()),
+                &mut out,
+            );
+            Some(Arc::new(h))
+        }
+        Err(e) => {
+            check("hicoo conversion", Err(e.to_string()), &mut out);
+            None
+        }
+    };
+    if t.nnz() > 0 {
+        let xa = Arc::new(t.clone());
+        let factors = Arc::new(make_factors(&t, rank));
+        let strat = mttkrp::MttkrpStrategy::Scheduled;
+        let (r, _) =
+            supervisor::supervised_mttkrp("mttkrp/coo", &xa, &factors, 0, None, strat, cfg);
+        check(
+            "mttkrp coo vs sequential reference",
+            if r.status.is_success() {
+                Ok(())
+            } else {
+                Err(r.status.to_string())
+            },
+            &mut out,
+        );
+        if let Some(hx) = &hx {
+            let (r, _) = supervisor::supervised_mttkrp(
+                "mttkrp/hicoo",
+                &xa,
+                &factors,
+                0,
+                Some(hx),
+                strat,
+                cfg,
+            );
+            check(
+                "mttkrp hicoo vs sequential reference",
+                if r.status.is_success() {
+                    Ok(())
+                } else {
+                    Err(r.status.to_string())
+                },
+                &mut out,
+            );
+        }
+    }
+    out.push_str(if ok { "VERIFY PASS\n" } else { "VERIFY FAIL\n" });
+    Ok(out)
+}
+
 /// `ablate-mttkrp`: measure every Mttkrp strategy (COO and HiCOO, atomic
 /// and scheduled) on a generated dataset, render a table, and optionally
 /// write the rows as JSON for committed benchmark artifacts.
@@ -373,11 +767,12 @@ pub fn ablate_mttkrp(
     block_bits: u8,
     reps: usize,
     out_json: Option<&Path>,
+    cfg: &SupervisorConfig,
 ) -> CliResult<String> {
     let d = tenbench_gen::registry::find(dataset)
         .ok_or_else(|| CliError::Usage(format!("unknown dataset id {dataset:?}")))?;
     let x = d.generate_with(nnz, d.default_seed());
-    let rows = crate::suite::run_mttkrp_ablation(&x, rank, block_bits, reps);
+    let rows = crate::suite::run_mttkrp_ablation_supervised(&x, rank, block_bits, reps, cfg);
     let atomic_hicoo = rows
         .iter()
         .find(|r| r.name == "hicoo/atomic")
@@ -388,19 +783,32 @@ pub fn ablate_mttkrp(
         .find(|r| r.name == "coo/atomic")
         .map(|r| r.time_s)
         .unwrap_or(0.0);
-
-    let mut tab = TextTable::new(["Strategy", "Time (s)", "Melem/s", "vs atomic"]);
-    for r in &rows {
+    let speedup = |r: &crate::suite::AblationRow| -> String {
         let base = if r.name.starts_with("hicoo") {
             atomic_hicoo
         } else {
             atomic_coo
         };
+        let s = base / r.time_s;
+        if s.is_finite() {
+            format!("{s:.2}x")
+        } else {
+            "-".to_string()
+        }
+    };
+
+    let mut tab = TextTable::new(["Strategy", "Time (s)", "Melem/s", "vs atomic", "Status"]);
+    for r in &rows {
         tab.row([
             r.name.clone(),
-            fnum(r.time_s),
+            if r.time_s.is_finite() {
+                fnum(r.time_s)
+            } else {
+                "-".to_string()
+            },
             fnum(r.melem_s),
-            format!("{:.2}x", base / r.time_s),
+            speedup(r),
+            r.status.to_string(),
         ]);
     }
     let mut out = format!(
@@ -427,12 +835,18 @@ pub fn ablate_mttkrp(
             } else {
                 atomic_coo
             };
+            let s = base / r.time_s;
             json.push_str(&format!(
-                "    {{\"name\": \"{}\", \"time_s\": {:.6e}, \"melem_s\": {:.3}, \"speedup_vs_atomic\": {:.3}}}{}\n",
+                "    {{\"name\": \"{}\", \"time_s\": {}, \"melem_s\": {:.3}, \"speedup_vs_atomic\": {:.3}, \"status\": \"{}\"}}{}\n",
                 r.name,
-                r.time_s,
+                if r.time_s.is_finite() {
+                    format!("{:.6e}", r.time_s)
+                } else {
+                    "null".to_string()
+                },
                 r.melem_s,
-                base / r.time_s,
+                if s.is_finite() { s } else { 0.0 },
+                r.status.label(),
                 if i + 1 < rows.len() { "," } else { "" }
             ));
         }
@@ -517,15 +931,72 @@ mod tests {
         let dir = std::env::temp_dir().join("tenbench-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let json = dir.join("ablate.json");
-        let r = ablate_mttkrp("s4", 3_000, 4, 3, 1, Some(&json)).unwrap();
+        let cfg = SupervisorConfig::default();
+        let r = ablate_mttkrp("s4", 3_000, 4, 3, 1, Some(&json), &cfg).unwrap();
         assert!(r.contains("hicoo/scheduled"), "{r}");
+        assert!(r.contains("Status"), "{r}");
         let body = std::fs::read_to_string(&json).unwrap();
         assert!(body.contains("\"speedup_vs_atomic\""));
         assert!(body.contains("coo/privatized"));
+        assert!(body.contains("\"status\": \"ok\""));
         assert!(matches!(
-            ablate_mttkrp("zz99", 1_000, 4, 3, 1, None),
+            ablate_mttkrp("zz99", 1_000, 4, 3, 1, None, &cfg),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn supervised_kernel_runs_report_ok() {
+        let x = tiny();
+        let cfg = SupervisorConfig::default();
+        for k in ["tew", "ts", "ttv", "ttm", "mttkrp"] {
+            for f in ["coo", "hicoo"] {
+                let r = run_kernel_supervised_on(&x, k, 0, 4, f, 3, 1, "scheduled", &cfg).unwrap();
+                assert!(r.contains("status ok"), "{k}/{f}: {r}");
+                assert!(r.contains("GFLOPS"), "{k}/{f}: {r}");
+                assert!(r.contains("\"status\": \"ok\""), "{k}/{f}: {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_kernel_times_out_cleanly() {
+        // A cap short enough that the watchdog fires during the attempt on
+        // any machine is impractical for these tiny kernels; instead check
+        // the flag plumbing accepts a generous cap and still succeeds.
+        let x = tiny();
+        let cfg = SupervisorConfig::with_max_seconds(30.0);
+        let r = run_kernel_supervised_on(&x, "mttkrp", 0, 4, "coo", 3, 1, "atomic", &cfg).unwrap();
+        assert!(r.contains("status ok"), "{r}");
+        assert!(matches!(
+            run_kernel_supervised_on(&x, "nope", 0, 4, "coo", 3, 1, "atomic", &cfg),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn verify_passes_on_clean_tensor_and_fails_on_corrupt_file() {
+        let dir = std::env::temp_dir().join("tenbench-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("verify.tnb");
+        save_tensor(&tiny(), &path).unwrap();
+        let cfg = SupervisorConfig::default();
+        let r = verify(&path, 3, 4, &cfg).unwrap();
+        assert!(r.contains("VERIFY PASS"), "{r}");
+        assert!(r.contains("coo structure: ok"), "{r}");
+        assert!(
+            r.contains("mttkrp hicoo vs sequential reference: ok"),
+            "{r}"
+        );
+
+        // Flip one payload byte: the hardened reader must reject the file,
+        // so verify reports an error instead of validating garbage.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x10;
+        let bad = dir.join("verify-bad.tnb");
+        std::fs::write(&bad, &bytes).unwrap();
+        assert!(matches!(verify(&bad, 3, 4, &cfg), Err(CliError::Io(_))));
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! * [`data`] — dataset materialization with an on-disk cache.
 //! * [`suite`] — the measured CPU kernel suite (Figures 4–5) and the
 //!   simulated GPU suite (Figures 6–7), with per-tensor Roofline bounds.
+//! * [`supervisor`] — watchdog timeouts, panic isolation, strategy
+//!   fallback, and output validation for long sweeps.
 
 // Index-heavy kernel code deliberately uses explicit loop indices over
 // several parallel arrays; the iterator forms clippy suggests are less
@@ -21,3 +23,4 @@ pub mod cli;
 pub mod data;
 pub mod format;
 pub mod suite;
+pub mod supervisor;

@@ -9,6 +9,7 @@
 //! fiber partitions, format conversion, output allocation plans) is done
 //! once outside the timed region.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use tenbench_core::coo::CooTensor;
@@ -20,6 +21,10 @@ use tenbench_gen::TensorStats;
 use tenbench_gpusim::device::DeviceSpec;
 use tenbench_gpusim::kernels as gpuk;
 use tenbench_roofline::bounds;
+
+use crate::supervisor::{
+    mttkrp_reference_digest, supervise, validate_matrix, RunStatus, SupervisorConfig, Trial,
+};
 
 /// Rank used for Ttm and Mttkrp, as in the paper.
 pub const DEFAULT_RANK: usize = 16;
@@ -300,83 +305,171 @@ pub fn run_cpu_suite(
 }
 
 /// One row of the Mttkrp scheduling ablation: a strategy/format pair with
-/// its per-mode-averaged kernel time.
+/// its per-mode-averaged kernel time and supervised run status.
 #[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Strategy label, e.g. `"coo/scheduled"` or `"hicoo/atomic"`.
     pub name: String,
     /// Average time per Mttkrp call in seconds (averaged over modes).
+    /// Infinite when the row did not produce a trusted number.
     pub time_s: f64,
     /// Throughput in millions of nonzero-updates per second
-    /// (`order * nnz * R / time`).
+    /// (`order * nnz * R / time`); zero for failed rows.
     pub melem_s: f64,
+    /// Supervised status: `Ok` for a clean run, or the failure that kept
+    /// this strategy from producing a trusted number.
+    pub status: crate::supervisor::RunStatus,
 }
 
 /// Measure every COO Mttkrp strategy plus atomic and scheduled HiCOO
 /// Mttkrp on one tensor, averaged over all modes. Schedule construction is
 /// pre-warmed outside the timed region (the schedule is cached and reused
 /// across calls, matching the suite's untimed pre-processing methodology).
+/// Runs supervised with no wall-clock cap; a panicking or invalid strategy
+/// yields a failed row instead of killing the ablation.
 pub fn run_mttkrp_ablation(
     x: &CooTensor<f32>,
     r: usize,
     block_bits: u8,
     reps: usize,
 ) -> Vec<AblationRow> {
+    run_mttkrp_ablation_supervised(x, r, block_bits, reps, &SupervisorConfig::default())
+}
+
+/// The strategy labels `run_mttkrp_ablation_supervised` reports, in order.
+pub const ABLATION_STRATEGIES: [&str; 7] = [
+    "coo/seq",
+    "coo/atomic",
+    "coo/privatized",
+    "coo/row_locked",
+    "coo/scheduled",
+    "hicoo/atomic",
+    "hicoo/scheduled",
+];
+
+/// Supervised Mttkrp ablation: every cell runs on a watchdogged worker
+/// thread and its output is checksum-validated against the sequential
+/// reference. Each row is a single strategy, so there is no fallback
+/// chain — a strategy that panics, times out, or produces bad numbers is
+/// reported as a failed row (`time_s` infinite, `melem_s` zero) and the
+/// remaining rows still run.
+pub fn run_mttkrp_ablation_supervised(
+    x: &CooTensor<f32>,
+    r: usize,
+    block_bits: u8,
+    reps: usize,
+    cfg: &SupervisorConfig,
+) -> Vec<AblationRow> {
     use tenbench_core::kernels::mttkrp::MttkrpStrategy;
     use tenbench_core::sched;
+
+    #[derive(Clone, Copy)]
+    enum Variant {
+        Coo(MttkrpStrategy),
+        HicooAtomic,
+        HicooSched,
+    }
+    let variants: [(&str, Variant); 7] = [
+        ("coo/seq", Variant::Coo(MttkrpStrategy::Seq)),
+        ("coo/atomic", Variant::Coo(MttkrpStrategy::Atomic)),
+        ("coo/privatized", Variant::Coo(MttkrpStrategy::Privatized)),
+        ("coo/row_locked", Variant::Coo(MttkrpStrategy::RowLocked)),
+        ("coo/scheduled", Variant::Coo(MttkrpStrategy::Scheduled)),
+        ("hicoo/atomic", Variant::HicooAtomic),
+        ("hicoo/scheduled", Variant::HicooSched),
+    ];
 
     let order = x.order();
     let m = x.nnz() as u64;
     let elems = (order as u64) * m * r as u64;
-    let factors = make_factors(x, r);
-    let frefs: Vec<&DenseMatrix<f32>> = factors.iter().collect();
-    let hx = HicooTensor::from_coo(x, block_bits).expect("valid block bits");
+    let xa = Arc::new(x.clone());
+    let factors = Arc::new(make_factors(x, r));
+    let hx = Arc::new(HicooTensor::from_coo(x, block_bits).expect("valid block bits"));
     // Pre-warm the schedule cache for every mode.
     for mode in 0..order {
         let _ = sched::row_schedule(x, mode);
         let _ = sched::mode_schedule(&hx, mode);
     }
-
-    let n = order as f64;
-    let mut rows = Vec::new();
-    let mut push = |name: &str, total: f64| {
-        let t = total / n;
-        rows.push(AblationRow {
-            name: name.to_string(),
-            time_s: t,
-            melem_s: elems as f64 / t / 1e6,
-        });
+    // Sequential reference digests, one per mode (the trust anchor every
+    // cell is validated against).
+    let refs: Vec<Vec<f64>> = match (0..order)
+        .map(|mode| mttkrp_reference_digest(x, &factors, mode, cfg.sample))
+        .collect()
+    {
+        Ok(v) => v,
+        Err(e) => {
+            return variants
+                .iter()
+                .map(|(name, _)| AblationRow {
+                    name: name.to_string(),
+                    time_s: f64::INFINITY,
+                    melem_s: 0.0,
+                    status: RunStatus::Failed(format!("sequential reference failed: {e}")),
+                })
+                .collect()
+        }
     };
 
-    for (name, strat) in [
-        ("coo/seq", MttkrpStrategy::Seq),
-        ("coo/atomic", MttkrpStrategy::Atomic),
-        ("coo/privatized", MttkrpStrategy::Privatized),
-        ("coo/row_locked", MttkrpStrategy::RowLocked),
-        ("coo/scheduled", MttkrpStrategy::Scheduled),
-    ] {
+    let mut rows = Vec::new();
+    for (name, variant) in variants {
         let mut total = 0.0;
+        let mut status = RunStatus::Ok;
         for mode in 0..order {
-            total += time_avg(reps, || {
-                std::hint::black_box(mttkrp::mttkrp_with(x, &frefs, mode, strat).unwrap());
+            let xa = xa.clone();
+            let factors = factors.clone();
+            let hx = hx.clone();
+            let trial = Trial::new(name, move || {
+                let frefs: Vec<&DenseMatrix<f32>> = factors.iter().collect();
+                let run_once = || {
+                    match variant {
+                        Variant::Coo(s) => mttkrp::mttkrp_with(&xa, &frefs, mode, s),
+                        Variant::HicooAtomic => mttkrp::mttkrp_hicoo(&hx, &frefs, mode),
+                        Variant::HicooSched => mttkrp::mttkrp_hicoo_sched(&hx, &frefs, mode),
+                    }
+                    .map_err(|e| e.to_string())
+                };
+                let out = run_once()?;
+                let secs = time_avg(reps, || {
+                    std::hint::black_box(run_once().unwrap());
+                });
+                Ok((secs, out))
             });
+            let reference = &refs[mode];
+            let (report, value) = supervise(
+                &format!("mttkrp/{name}/mode{mode}"),
+                &[trial],
+                |(_, out): &(f64, DenseMatrix<f32>)| {
+                    validate_matrix(out, reference, cfg.sample, cfg.rel_tol)
+                },
+                cfg,
+            );
+            match value {
+                Some((secs, _)) => {
+                    total += secs;
+                    // A retry that recovered still taints the row's status.
+                    if status == RunStatus::Ok && report.status != RunStatus::Ok {
+                        status = report.status;
+                    }
+                }
+                None => {
+                    status = report.status;
+                    break;
+                }
+            }
         }
-        push(name, total);
-    }
-    let mut total = 0.0;
-    for mode in 0..order {
-        total += time_avg(reps, || {
-            std::hint::black_box(mttkrp::mttkrp_hicoo(&hx, &frefs, mode).unwrap());
+        let (time_s, melem_s) = if status.is_success() {
+            let t = total / order as f64;
+            (t, elems as f64 / t / 1e6)
+        } else {
+            (f64::INFINITY, 0.0)
+        };
+        rows.push(AblationRow {
+            name: name.to_string(),
+            time_s,
+            melem_s,
+            status,
         });
     }
-    push("hicoo/atomic", total);
-    let mut total = 0.0;
-    for mode in 0..order {
-        total += time_avg(reps, || {
-            std::hint::black_box(mttkrp::mttkrp_hicoo_sched(&hx, &frefs, mode).unwrap());
-        });
-    }
-    push("hicoo/scheduled", total);
     rows
 }
 

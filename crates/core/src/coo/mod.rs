@@ -255,8 +255,10 @@ impl<S: Scalar> CooTensor<S> {
         self.shape == other.shape && self.inds == other.inds
     }
 
-    /// Validate internal structure (array lengths, index bounds). Cheap
-    /// enough for tests; kernels assume validity.
+    /// Validate internal structure: array lengths, index bounds, and — when
+    /// the sort state claims an ordering — that the nonzeros actually follow
+    /// it. Cheap enough to run after any conversion or untrusted load;
+    /// kernels assume validity.
     pub fn validate(&self) -> Result<()> {
         if self.inds.len() != self.order() {
             return Err(TensorError::InvalidStructure(format!(
@@ -282,7 +284,60 @@ impl<S: Scalar> CooTensor<S> {
                 });
             }
         }
+        match &self.sort {
+            SortState::Unsorted => {}
+            SortState::Lexicographic(mode_order) => {
+                if mode_order.len() != self.order() {
+                    return Err(TensorError::InvalidStructure(format!(
+                        "sort state names {} modes for an order-{} tensor",
+                        mode_order.len(),
+                        self.order()
+                    )));
+                }
+                for i in 1..self.nnz() {
+                    let mut cmp = std::cmp::Ordering::Equal;
+                    for &m in mode_order {
+                        cmp = self.inds[m][i - 1].cmp(&self.inds[m][i]);
+                        if cmp != std::cmp::Ordering::Equal {
+                            break;
+                        }
+                    }
+                    if cmp == std::cmp::Ordering::Greater {
+                        return Err(TensorError::InvalidStructure(format!(
+                            "nonzeros {} and {} violate the claimed lexicographic order",
+                            i - 1,
+                            i
+                        )));
+                    }
+                }
+            }
+            SortState::Morton { block_bits } => {
+                let bits = *block_bits;
+                let mut prev = vec![0u32; self.order()];
+                let mut curr = vec![0u32; self.order()];
+                for i in 1..self.nnz() {
+                    for (m, arr) in self.inds.iter().enumerate() {
+                        prev[m] = arr[i - 1] >> bits;
+                        curr[m] = arr[i] >> bits;
+                    }
+                    if crate::hicoo::morton::morton_cmp(&prev, &curr) == std::cmp::Ordering::Greater
+                    {
+                        return Err(TensorError::InvalidStructure(format!(
+                            "nonzeros {} and {} violate the claimed Morton block order",
+                            i - 1,
+                            i
+                        )));
+                    }
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Count NaN/Inf values — untrusted inputs and misbehaving kernels both
+    /// surface here; a trustworthy benchmark cell must report zero.
+    pub fn nonfinite_count(&self) -> usize {
+        self.vals.iter().filter(|v| !v.is_finite()).count()
     }
 }
 
@@ -342,6 +397,39 @@ mod tests {
     #[test]
     fn validate_accepts_well_formed() {
         assert!(small().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_detects_false_sort_claims() {
+        // Claims lexicographic order but the nonzeros are shuffled.
+        let mut t = small();
+        for arr in &mut t.inds {
+            arr.swap(0, 2);
+        }
+        assert!(matches!(
+            t.validate(),
+            Err(TensorError::InvalidStructure(_))
+        ));
+
+        // Claims Morton block order but blocks run backwards.
+        let mut t = small();
+        t.sort_morton(1);
+        for arr in &mut t.inds {
+            arr.reverse();
+        }
+        t.vals.reverse();
+        assert!(matches!(
+            t.validate(),
+            Err(TensorError::InvalidStructure(_))
+        ));
+    }
+
+    #[test]
+    fn nonfinite_count_flags_poisoned_values() {
+        let mut t = small();
+        assert_eq!(t.nonfinite_count(), 0);
+        t.vals_mut()[1] = f32::NAN;
+        assert_eq!(t.nonfinite_count(), 1);
     }
 
     #[test]

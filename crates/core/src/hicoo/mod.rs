@@ -296,9 +296,13 @@ impl<S: Scalar> HicooTensor<S> {
         8 * (nb + 1) + 4 * n * nb + n * m + m * S::BYTES
     }
 
-    /// Check structural invariants: monotone `bptr`, nonempty blocks, element
-    /// indices below the block edge, reconstructed coordinates in bounds.
+    /// Check structural invariants: block bits in range, monotone `bptr`,
+    /// nonempty blocks, per-mode array lengths, element indices below the
+    /// block edge, blocks in Morton order without adjacent duplicates, and
+    /// reconstructed coordinates in bounds. Cheap enough to run after any
+    /// conversion or untrusted load.
     pub fn validate(&self) -> Result<()> {
+        check_block_bits(self.block_bits)?;
         let nb = self.num_blocks();
         if self.bptr.first() != Some(&0) || *self.bptr.last().unwrap_or(&0) != self.nnz() as u64 {
             return Err(TensorError::InvalidStructure(
@@ -312,11 +316,65 @@ impl<S: Scalar> HicooTensor<S> {
                 )));
             }
         }
+        if self.binds.len() != self.order() || self.einds.len() != self.order() {
+            return Err(TensorError::InvalidStructure(format!(
+                "{} binds / {} einds arrays for order-{} tensor",
+                self.binds.len(),
+                self.einds.len(),
+                self.order()
+            )));
+        }
         for (mode, arr) in self.binds.iter().enumerate() {
             if arr.len() != nb {
                 return Err(TensorError::InvalidStructure(format!(
                     "mode-{mode} binds length {} != block count {nb}",
                     arr.len()
+                )));
+            }
+        }
+        let edge = self.block_size();
+        for (mode, arr) in self.einds.iter().enumerate() {
+            if arr.len() != self.nnz() {
+                return Err(TensorError::InvalidStructure(format!(
+                    "mode-{mode} einds length {} != nnz {}",
+                    arr.len(),
+                    self.nnz()
+                )));
+            }
+            if let Some(&bad) = arr.iter().find(|&&e| (e as u32) >= edge) {
+                return Err(TensorError::InvalidStructure(format!(
+                    "mode-{mode} element index {bad} outside block edge {edge}"
+                )));
+            }
+        }
+        // Blocks must be strictly sorted — Morton order from COO conversion,
+        // or lexicographic order from kernels that rebuild block lists (Ttv's
+        // scheduled variant sorts surviving block coords lexicographically).
+        // Either way adjacent duplicates mean a failed construction merge.
+        let mut morton_ok = true;
+        let mut lex_ok = true;
+        let mut prev = vec![0u32; self.order()];
+        let mut curr = vec![0u32; self.order()];
+        for b in 1..nb {
+            for (mode, arr) in self.binds.iter().enumerate() {
+                prev[mode] = arr[b - 1];
+                curr[mode] = arr[b];
+            }
+            if prev == curr {
+                return Err(TensorError::InvalidStructure(format!(
+                    "blocks {} and {b} share a block coordinate",
+                    b - 1
+                )));
+            }
+            if morton::morton_cmp(&prev, &curr) == std::cmp::Ordering::Greater {
+                morton_ok = false;
+            }
+            if prev > curr {
+                lex_ok = false;
+            }
+            if !morton_ok && !lex_ok {
+                return Err(TensorError::InvalidStructure(format!(
+                    "blocks up to {b} are in neither Morton nor lexicographic order"
                 )));
             }
         }
@@ -328,6 +386,11 @@ impl<S: Scalar> HicooTensor<S> {
             }
         }
         Ok(())
+    }
+
+    /// Count NaN/Inf values (see [`CooTensor::nonfinite_count`]).
+    pub fn nonfinite_count(&self) -> usize {
+        self.vals.iter().filter(|v| !v.is_finite()).count()
     }
 }
 
@@ -431,6 +494,57 @@ mod tests {
         assert!(a.same_pattern(&b));
         let c = HicooTensor::from_coo(&coo, 2).unwrap();
         assert!(!a.same_pattern(&c));
+    }
+
+    #[test]
+    fn validate_detects_corrupted_structure() {
+        let good = HicooTensor::from_coo(&fig2_tensor(), 1).unwrap();
+
+        // Element index at or above the block edge.
+        let mut t = good.clone();
+        t.einds[0][0] = t.block_size() as u8;
+        assert!(matches!(
+            t.validate(),
+            Err(TensorError::InvalidStructure(_))
+        ));
+
+        // Duplicated adjacent block coordinate.
+        let mut t = good.clone();
+        for arr in &mut t.binds {
+            let first = arr[0];
+            arr[1] = first;
+        }
+        assert!(matches!(
+            t.validate(),
+            Err(TensorError::InvalidStructure(_))
+        ));
+
+        // Blocks in neither Morton nor lexicographic order.
+        let mut t = good.clone();
+        for arr in &mut t.binds {
+            arr.swap(0, t.bptr.len() - 2);
+        }
+        assert!(matches!(
+            t.validate(),
+            Err(TensorError::InvalidStructure(_))
+        ));
+
+        // einds array length out of sync with nnz.
+        let mut t = good.clone();
+        t.einds[1].pop();
+        assert!(matches!(
+            t.validate(),
+            Err(TensorError::InvalidStructure(_))
+        ));
+    }
+
+    #[test]
+    fn nonfinite_count_flags_poisoned_values() {
+        let mut h = HicooTensor::from_coo(&fig2_tensor(), 1).unwrap();
+        assert_eq!(h.nonfinite_count(), 0);
+        h.vals_mut()[2] = f32::NAN;
+        h.vals_mut()[5] = f32::INFINITY;
+        assert_eq!(h.nonfinite_count(), 2);
     }
 
     #[test]

@@ -7,18 +7,29 @@
 //!   collections ("the benchmark suite can be run against any set of
 //!   tensors provided that they are expressed using coordinate format").
 //! * [`bin`] — a compact little-endian binary format for fast reloads of
-//!   generated tensors.
+//!   generated tensors: `TNB2` with per-section CRC-32s (written by
+//!   default), with transparent read support for the legacy `TNB1` layout.
+//! * [`crc32`] — the CRC-32 used by `TNB2`.
+//! * [`fault`] — fault-injection `Read`/`Write` wrappers for corruption
+//!   testing.
+//!
+//! All readers treat their input as untrusted: malformed, truncated, or
+//! bit-flipped files must produce an [`IoError`], never a panic or an
+//! allocation sized from an unvalidated header.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod bin;
+pub mod crc32;
+pub mod fault;
 pub mod tns;
 
 use std::fmt;
 
 /// Errors produced by tensor readers and writers.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum IoError {
     /// Underlying I/O failure.
     Io(std::io::Error),
@@ -26,6 +37,22 @@ pub enum IoError {
     Parse(String),
     /// The parsed structure was rejected by the core validators.
     Tensor(tenbench_core::TensorError),
+    /// A section failed its integrity check (CRC mismatch, truncation,
+    /// trailing garbage) — the bytes do not match what was written.
+    Corrupt {
+        /// Which section of the file failed (`"header"`, `"indices"`, ...).
+        section: &'static str,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// The header asked for more memory than the configured allocation
+    /// budget allows; nothing was allocated.
+    BudgetExceeded {
+        /// Bytes the header implies the payload needs.
+        needed: u64,
+        /// The configured cap.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for IoError {
@@ -34,6 +61,15 @@ impl fmt::Display for IoError {
             IoError::Io(e) => write!(f, "i/o error: {e}"),
             IoError::Parse(msg) => write!(f, "parse error: {msg}"),
             IoError::Tensor(e) => write!(f, "tensor error: {e}"),
+            IoError::Corrupt { section, detail } => {
+                write!(f, "corrupt {section} section: {detail}")
+            }
+            IoError::BudgetExceeded { needed, budget } => {
+                write!(
+                    f,
+                    "header requests {needed} bytes, over the {budget}-byte allocation budget"
+                )
+            }
         }
     }
 }
@@ -42,8 +78,8 @@ impl std::error::Error for IoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             IoError::Io(e) => Some(e),
-            IoError::Parse(_) => None,
             IoError::Tensor(e) => Some(e),
+            _ => None,
         }
     }
 }

@@ -11,6 +11,7 @@ use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use tenbench_core::coo::CooTensor;
 use tenbench_core::scalar::Scalar;
 use tenbench_core::shape::Shape;
+use tenbench_core::TensorError;
 
 use crate::{IoError, Result};
 
@@ -57,6 +58,14 @@ fn read_tns_impl<S: Scalar, R: Read>(reader: R, shape: Option<Shape>) -> Result<
                 tokens.len()
             )));
         }
+        if let Some(s) = &shape {
+            if s.order() != n {
+                return Err(IoError::Parse(format!(
+                    "line {lineno}: {n} indices for an order-{} shape",
+                    s.order()
+                )));
+            }
+        }
         if inds.is_empty() {
             inds = vec![Vec::new(); n];
         }
@@ -74,26 +83,46 @@ fn read_tns_impl<S: Scalar, R: Read>(reader: R, shape: Option<Shape>) -> Result<
                     "line {lineno}: index {idx} exceeds 32-bit range"
                 )));
             }
-            inds[m].push((idx - 1) as u32);
+            let zero_based = (idx - 1) as u32;
+            // Against a known shape, reject out-of-range coordinates at the
+            // offending line rather than deferring to a post-hoc pass (or,
+            // worse, to kernel misbehavior on an unvalidated tensor).
+            if let Some(s) = &shape {
+                if zero_based >= s.dim(m) {
+                    return Err(IoError::Tensor(TensorError::IndexOutOfBounds {
+                        mode: m,
+                        index: zero_based,
+                        dim: s.dim(m),
+                    }));
+                }
+            }
+            inds[m].push(zero_based);
         }
         let v: f64 = tokens[n]
             .parse()
             .map_err(|_| IoError::Parse(format!("line {lineno}: bad value {:?}", tokens[n])))?;
+        if !v.is_finite() {
+            return Err(IoError::Parse(format!(
+                "line {lineno}: non-finite value {v}; NaN/Inf inputs poison kernel checksums"
+            )));
+        }
         vals.push(S::from_f64(v));
     }
 
     // An empty file is a valid (empty) tensor when the shape is known;
     // without a shape there is nothing to infer the order from.
-    if order.is_none() {
-        return match shape {
-            Some(s) => {
-                let empty = vec![Vec::new(); s.order()];
-                Ok(CooTensor::from_parts(s, empty, vals)?)
+    let order = match order {
+        Some(n) => n,
+        None => {
+            return match shape {
+                Some(s) => {
+                    let empty = vec![Vec::new(); s.order()];
+                    Ok(CooTensor::from_parts(s, empty, vals)?)
+                }
+                None => Err(IoError::Parse("no data lines".into())),
             }
-            None => Err(IoError::Parse("no data lines".into())),
-        };
-    }
-    let order = order.expect("checked above");
+        }
+    };
     let shape = match shape {
         Some(s) => s,
         None => {
@@ -185,6 +214,30 @@ mod tests {
     fn shape_validation_detects_out_of_range() {
         let r: Result<CooTensor<f32>> =
             read_tns_with_shape("5 1 1.0\n".as_bytes(), Shape::new(vec![3, 3]));
-        assert!(matches!(r, Err(IoError::Tensor(_))));
+        assert!(matches!(
+            r,
+            Err(IoError::Tensor(
+                tenbench_core::TensorError::IndexOutOfBounds {
+                    mode: 0,
+                    index: 4,
+                    dim: 3
+                }
+            ))
+        ));
+    }
+
+    #[test]
+    fn shape_validation_rejects_wrong_arity() {
+        let r: Result<CooTensor<f32>> =
+            read_tns_with_shape("1 1 1 1.0\n".as_bytes(), Shape::new(vec![3, 3]));
+        assert!(matches!(r, Err(IoError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        for bad in ["1 1 nan\n", "1 1 inf\n", "1 1 -inf\n"] {
+            let r: Result<CooTensor<f32>> = read_tns(bad.as_bytes());
+            assert!(matches!(r, Err(IoError::Parse(_))), "{bad:?} accepted");
+        }
     }
 }
