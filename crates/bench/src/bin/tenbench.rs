@@ -11,6 +11,9 @@
 //! tenbench ablate-mttkrp [--dataset s4] [--nnz N] [--rank R]
 //!                   [--block-bits B] [--reps K] [--out results.json]
 //!                   [--max-seconds S]
+//! tenbench convert-bench [--dataset s4] [--nnz N] [--block-bits B]
+//!                   [--threads 1,2,4,8] [--reps K] [--out BENCH_convert.json]
+//!                   [--min-speedup X]
 //! tenbench verify   <file> [--block-bits B] [--rank R] [--max-seconds S]
 //! ```
 //!
@@ -159,6 +162,28 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
             opts.get("out").map(PathBuf::from).as_deref(),
             &supervisor_cfg(),
         )?),
+        Some("convert-bench") => {
+            let threads: Vec<usize> = opts
+                .get("threads")
+                .map(String::as_str)
+                .unwrap_or("1,2,4,8")
+                .split(',')
+                .map(|t| t.parse().map_err(|_| "bad --threads"))
+                .collect::<Result<_, _>>()?;
+            let min_speedup: Option<f64> = opts
+                .get("min-speedup")
+                .map(|v| v.parse().map_err(|_| "bad --min-speedup".to_string()))
+                .transpose()?;
+            Ok(cli::convert_bench(
+                opts.get("dataset").map(String::as_str).unwrap_or("s4"),
+                get_usize("nnz", 1_000_000)?,
+                block_bits,
+                &threads,
+                get_usize("reps", 3)?,
+                opts.get("out").map(PathBuf::from).as_deref(),
+                min_speedup,
+            )?)
+        }
         Some("verify") => {
             let [_, input] = &pos[..] else {
                 return Err("usage: tenbench verify <file> [--block-bits B] [--rank R]".into());
@@ -175,6 +200,6 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
             }
             Ok(report)
         }
-        _ => Err("usage: tenbench <convert|stats|generate|kernel|ablate-mttkrp|verify> ... (see --help in the module docs)".into()),
+        _ => Err("usage: tenbench <convert|stats|generate|kernel|ablate-mttkrp|convert-bench|verify> ... (see --help in the module docs)".into()),
     }
 }

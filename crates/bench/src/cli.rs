@@ -10,8 +10,9 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 
-use tenbench_core::coo::CooTensor;
+use tenbench_core::coo::{CooTensor, SortAlgo};
 use tenbench_core::dense::{DenseMatrix, DenseVector};
 use tenbench_core::hicoo::HicooTensor;
 use tenbench_core::kernels::{mttkrp, tew, ts, ttm, ttv, EwOp, Kernel};
@@ -719,6 +720,46 @@ pub fn verify(
     };
     if t.nnz() > 0 {
         let xa = Arc::new(t.clone());
+        // Sort pipeline cross-check under the supervisor: the radix-sorted
+        // tensor must equal the sequential comparator ordering exactly,
+        // both lexicographically and in Morton block order.
+        let xs = xa.clone();
+        let trials = vec![Trial::new("radix", move || {
+            let order: Vec<usize> = (0..xs.order()).collect();
+            let mut a = (*xs).clone();
+            let mut b = (*xs).clone();
+            a.sort_lexicographic_with(&order, SortAlgo::Radix);
+            b.sort_lexicographic_with(&order, SortAlgo::Comparator);
+            let lex_ok = a == b;
+            let mut a = (*xs).clone();
+            let mut b = (*xs).clone();
+            a.sort_morton_with(block_bits, SortAlgo::Radix);
+            b.sort_morton_with(block_bits, SortAlgo::Comparator);
+            Ok((lex_ok, a == b))
+        })];
+        let (r, _) = supervisor::supervise(
+            "sort/coo",
+            &trials,
+            |&(lex_ok, morton_ok): &(bool, bool)| {
+                if lex_ok && morton_ok {
+                    Ok(None)
+                } else {
+                    Err(format!(
+                        "radix order diverges from comparator (lex ok = {lex_ok}, morton ok = {morton_ok})"
+                    ))
+                }
+            },
+            cfg,
+        );
+        check(
+            "radix sort vs comparator reference",
+            if r.status.is_success() {
+                Ok(())
+            } else {
+                Err(r.status.to_string())
+            },
+            &mut out,
+        );
         let factors = Arc::new(make_factors(&t, rank));
         let strat = mttkrp::MttkrpStrategy::Scheduled;
         let (r, _) =
@@ -853,6 +894,156 @@ pub fn ablate_mttkrp(
         json.push_str("  ]\n}\n");
         std::fs::write(path, &json)?;
         out.push_str(&format!("wrote {}\n", path.display()));
+    }
+    Ok(out)
+}
+
+/// One measured configuration of the conversion pipeline.
+struct ConvertRow {
+    algo: &'static str,
+    threads: usize,
+    sort_s: f64,
+    build_s: f64,
+}
+
+impl ConvertRow {
+    fn total_s(&self) -> f64 {
+        self.sort_s + self.build_s
+    }
+}
+
+/// `convert-bench`: measure the COO→HiCOO conversion pipeline (Morton sort
+/// then block build) across thread counts. The first row is the sequential
+/// comparator-sort baseline; the remaining rows run the parallel radix
+/// pipeline at each requested thread count. Optionally writes the rows as
+/// JSON (`BENCH_convert.json`) and enforces a minimum radix speedup at the
+/// highest thread count (the CI regression gate).
+pub fn convert_bench(
+    dataset: &str,
+    nnz: usize,
+    block_bits: u8,
+    threads_list: &[usize],
+    reps: usize,
+    out_json: Option<&Path>,
+    min_speedup: Option<f64>,
+) -> CliResult<String> {
+    let d = tenbench_gen::registry::find(dataset)
+        .ok_or_else(|| CliError::Usage(format!("unknown dataset id {dataset:?}")))?;
+    if threads_list.is_empty() {
+        return Err(CliError::Usage("--threads list is empty".to_string()));
+    }
+    let x = d.generate_with(nnz, d.default_seed());
+    let m = x.nnz();
+
+    // Best-of-reps per configuration; each rep re-clones the (lex-sorted)
+    // generator output so both backends start from the identical order.
+    let measure = |threads: usize, algo: SortAlgo, label: &'static str| -> CliResult<ConvertRow> {
+        let mut best: Option<ConvertRow> = None;
+        for _ in 0..reps.max(1) {
+            let mut c = x.clone();
+            let (sort_s, build_s) = tenbench_core::par::with_threads(threads, || {
+                let t0 = Instant::now();
+                c.sort_morton_with(block_bits, algo);
+                let sort_s = t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                // The internal re-sort is a no-op: the sort state already
+                // says Morton(block_bits), so this times the build alone.
+                let r = HicooTensor::from_coo_inplace(&mut c, block_bits);
+                let build_s = t1.elapsed().as_secs_f64();
+                r.map(|h| {
+                    std::hint::black_box(h.num_blocks());
+                    (sort_s, build_s)
+                })
+            })?;
+            let row = ConvertRow {
+                algo: label,
+                threads,
+                sort_s,
+                build_s,
+            };
+            if best.as_ref().is_none_or(|b| row.total_s() < b.total_s()) {
+                best = Some(row);
+            }
+        }
+        Ok(best.expect("reps >= 1"))
+    };
+
+    let baseline = measure(1, SortAlgo::Comparator, "comparator")?;
+    let mut rows = vec![baseline];
+    for &threads in threads_list {
+        rows.push(measure(threads, SortAlgo::Radix, "radix")?);
+    }
+
+    let base_total = rows[0].total_s();
+    let mnnz = |r: &ConvertRow| m as f64 / r.total_s() / 1e6;
+    let mut tab = TextTable::new([
+        "Pipeline",
+        "Threads",
+        "Sort (s)",
+        "Build (s)",
+        "Total (s)",
+        "Mnnz/s",
+        "Speedup",
+    ]);
+    for r in &rows {
+        tab.row([
+            r.algo.to_string(),
+            r.threads.to_string(),
+            fnum(r.sort_s),
+            fnum(r.build_s),
+            fnum(r.total_s()),
+            fnum(mnnz(r)),
+            format!("{:.2}x", base_total / r.total_s()),
+        ]);
+    }
+    let mut out = format!(
+        "COO -> HiCOO conversion pipeline on {dataset} ({}, {} nnz, B = {}, best of {reps})\n",
+        x.shape(),
+        fint(m as u64),
+        1u32 << block_bits,
+    );
+    out.push_str(&tab.render());
+
+    let final_speedup = base_total / rows.last().expect("rows nonempty").total_s();
+
+    if let Some(path) = out_json {
+        let mut json = String::from("{\n");
+        json.push_str(&format!(
+            "  \"dataset\": \"{dataset}\",\n  \"shape\": \"{}\",\n  \"nnz\": {m},\n  \"block_bits\": {block_bits},\n  \"reps\": {reps},\n",
+            x.shape(),
+        ));
+        json.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"pipeline\": \"{}\", \"threads\": {}, \"sort_s\": {:.6e}, \"build_s\": {:.6e}, \"total_s\": {:.6e}, \"mnnz_per_s\": {:.3}, \"speedup_vs_baseline\": {:.3}}}{}\n",
+                r.algo,
+                r.threads,
+                r.sort_s,
+                r.build_s,
+                r.total_s(),
+                mnnz(r),
+                base_total / r.total_s(),
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "  ],\n  \"speedup_at_max_threads\": {final_speedup:.3}\n}}\n"
+        ));
+        std::fs::write(path, &json)?;
+        out.push_str(&format!("wrote {}\n", path.display()));
+    }
+
+    if let Some(floor) = min_speedup {
+        if final_speedup < floor {
+            return Err(CliError::Usage(format!(
+                "conversion speedup regression: radix at {} threads is {final_speedup:.2}x vs \
+                 sequential comparator baseline, below the floor of {floor:.2}x",
+                rows.last().expect("rows nonempty").threads,
+            )));
+        }
+        out.push_str(&format!(
+            "speedup gate: {final_speedup:.2}x >= {floor:.2}x ok\n"
+        ));
     }
     Ok(out)
 }

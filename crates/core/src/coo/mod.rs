@@ -19,7 +19,7 @@ pub use fiber::FiberPartition;
 pub use matricize::matricize;
 pub use mscoo::MultiSemiSparseTensor;
 pub use scoo::SemiSparseTensor;
-pub use sort::SortState;
+pub use sort::{SortAlgo, SortState};
 
 use std::collections::BTreeMap;
 
@@ -168,7 +168,14 @@ impl<S: Scalar> CooTensor<S> {
     /// (`mode_order[0]` is the slowest-varying mode). No-op if the tensor is
     /// already in that order.
     pub fn sort_lexicographic(&mut self, mode_order: &[usize]) {
-        sort::sort_lexicographic(self, mode_order);
+        sort::sort_lexicographic(self, mode_order, SortAlgo::Auto);
+    }
+
+    /// [`CooTensor::sort_lexicographic`] with an explicit sort backend —
+    /// used by `tenbench verify` to cross-check the radix pipeline against
+    /// the comparator reference.
+    pub fn sort_lexicographic_with(&mut self, mode_order: &[usize], algo: SortAlgo) {
+        sort::sort_lexicographic(self, mode_order, algo);
     }
 
     /// Sort so that `mode` is innermost with the remaining modes ascending —
@@ -181,7 +188,12 @@ impl<S: Scalar> CooTensor<S> {
     /// Sort nonzeros by the Morton order of their block coordinates, the
     /// pre-processing step of HiCOO construction (paper §3.3).
     pub fn sort_morton(&mut self, block_bits: u8) {
-        sort::sort_morton(self, block_bits);
+        sort::sort_morton(self, block_bits, SortAlgo::Auto);
+    }
+
+    /// [`CooTensor::sort_morton`] with an explicit sort backend.
+    pub fn sort_morton_with(&mut self, block_bits: u8, algo: SortAlgo) {
+        sort::sort_morton(self, block_bits, algo);
     }
 
     /// Compute the mode-`n` fiber partition (requires, and if necessary

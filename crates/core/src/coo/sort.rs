@@ -4,9 +4,37 @@
 use rayon::prelude::*;
 
 use crate::hicoo::morton;
+use crate::radix;
 use crate::scalar::Scalar;
 
 use super::CooTensor;
+
+/// Backend selection for the COO sorts.
+///
+/// The default pipeline packs coordinates into little-endian integer keys
+/// and runs the parallel stable LSD radix engine (`crate::radix`); the
+/// comparator backend is the parallel merge sort over the same ordering
+/// with an explicit index tie-break. Both produce the *identical*
+/// permutation for every input (ties resolve to ascending original
+/// position), which is what lets `verify` cross-check one against the
+/// other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortAlgo {
+    /// Radix where a packed-key formulation exists, comparator otherwise.
+    #[default]
+    Auto,
+    /// Same as `Auto` (named for benchmark readability): radix whenever a
+    /// packed-key formulation exists.
+    Radix,
+    /// Force the comparator-based parallel merge sort.
+    Comparator,
+}
+
+impl SortAlgo {
+    fn use_radix(self) -> bool {
+        !matches!(self, SortAlgo::Comparator)
+    }
+}
 
 /// Tracks how the nonzeros of a [`CooTensor`] are currently ordered.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,7 +80,11 @@ fn apply_perm<S: Scalar>(t: &mut CooTensor<S>, perm: &[u32]) {
     t.vals = perm.par_iter().map(|&p| t.vals[p as usize]).collect();
 }
 
-pub(super) fn sort_lexicographic<S: Scalar>(t: &mut CooTensor<S>, mode_order: &[usize]) {
+pub(super) fn sort_lexicographic<S: Scalar>(
+    t: &mut CooTensor<S>,
+    mode_order: &[usize],
+    algo: SortAlgo,
+) {
     assert_eq!(
         mode_order.len(),
         t.order(),
@@ -63,7 +95,9 @@ pub(super) fn sort_lexicographic<S: Scalar>(t: &mut CooTensor<S>, mode_order: &[
     }
     let m = t.nnz();
     let mut perm: Vec<u32> = (0..m as u32).collect();
-    {
+    if algo.use_radix() {
+        lex_perm_radix(&t.inds, t.shape.dims(), mode_order, &mut perm);
+    } else {
         let inds = &t.inds;
         perm.par_sort_unstable_by(|&a, &b| {
             let (a, b) = (a as usize, b as usize);
@@ -74,14 +108,52 @@ pub(super) fn sort_lexicographic<S: Scalar>(t: &mut CooTensor<S>, mode_order: &[
                     ord => return ord,
                 }
             }
-            std::cmp::Ordering::Equal
+            // Deterministic tie-break so both backends agree exactly.
+            a.cmp(&b)
         });
     }
     apply_perm(t, &perm);
     t.sort = SortState::Lexicographic(mode_order.to_vec());
 }
 
-pub(super) fn sort_morton<S: Scalar>(t: &mut CooTensor<S>, block_bits: u8) {
+/// Radix permutation for a lexicographic sort: pack the coordinates along
+/// `mode_order` into one little-endian key when they fit 128 bits (always
+/// true for order <= 4), otherwise run one stable per-mode radix pass from
+/// the least significant mode up.
+fn lex_perm_radix(inds: &[Vec<u32>], dims: &[u32], mode_order: &[usize], perm: &mut Vec<u32>) {
+    // Per-mode key width; a mode of extent 1 contributes nothing.
+    let width = |mode: usize| radix::bits_for(dims[mode].saturating_sub(1)) as usize;
+    let total_bits: usize = mode_order.iter().map(|&mode| width(mode)).sum();
+    if total_bits == 0 {
+        return;
+    }
+    if total_bits <= 128 {
+        let keys: Vec<u128> = (0..perm.len())
+            .into_par_iter()
+            .with_min_len(4096)
+            .map(|i| {
+                let mut key = 0u128;
+                for &mode in mode_order {
+                    key = (key << width(mode)) | inds[mode][i] as u128;
+                }
+                key
+            })
+            .collect();
+        let max_key = if total_bits == 128 {
+            u128::MAX
+        } else {
+            (1u128 << total_bits) - 1
+        };
+        radix::sort_perm_by_u128_keys(perm, &keys, max_key);
+    } else {
+        for &mode in mode_order.iter().rev() {
+            let arr = &inds[mode];
+            radix::sort_perm_by_u32_key(perm, |p| arr[p as usize], dims[mode].saturating_sub(1));
+        }
+    }
+}
+
+pub(super) fn sort_morton<S: Scalar>(t: &mut CooTensor<S>, block_bits: u8, algo: SortAlgo) {
     if t.sort.is_morton(block_bits) {
         return;
     }
@@ -89,9 +161,10 @@ pub(super) fn sort_morton<S: Scalar>(t: &mut CooTensor<S>, block_bits: u8) {
     let order = t.order();
     let mut perm: Vec<u32> = (0..m as u32).collect();
 
-    // Fast path: orders <= 4 get packed 128-bit Morton block keys; beyond
-    // that we fall back to the comparison-based most-significant-bit trick.
-    if order <= 4 {
+    if algo.use_radix() && morton_radix_fits(t.shape.dims(), block_bits) {
+        morton_perm_radix(&t.inds, t.shape.dims(), block_bits, &mut perm);
+    } else if order <= 4 {
+        // Packed 128-bit Morton block keys, comparator merge sort.
         let keys: Vec<u128> = (0..m)
             .into_par_iter()
             .map(|i| {
@@ -105,17 +178,22 @@ pub(super) fn sort_morton<S: Scalar>(t: &mut CooTensor<S>, block_bits: u8) {
         let inds = &t.inds;
         perm.par_sort_unstable_by(|&a, &b| {
             let (a, b) = (a as usize, b as usize);
-            keys[a].cmp(&keys[b]).then_with(|| {
-                for arr in inds {
-                    match arr[a].cmp(&arr[b]) {
-                        std::cmp::Ordering::Equal => continue,
-                        ord => return ord,
+            keys[a]
+                .cmp(&keys[b])
+                .then_with(|| {
+                    for arr in inds {
+                        match arr[a].cmp(&arr[b]) {
+                            std::cmp::Ordering::Equal => continue,
+                            ord => return ord,
+                        }
                     }
-                }
-                std::cmp::Ordering::Equal
-            })
+                    std::cmp::Ordering::Equal
+                })
+                // Deterministic tie-break so both backends agree exactly.
+                .then(a.cmp(&b))
         });
     } else {
+        // Orders above 4: the comparison-based most-significant-bit trick.
         let inds = &t.inds;
         perm.par_sort_unstable_by(|&a, &b| {
             let (a, b) = (a as usize, b as usize);
@@ -123,20 +201,78 @@ pub(super) fn sort_morton<S: Scalar>(t: &mut CooTensor<S>, block_bits: u8) {
             let bb = |mode: usize| inds[mode][b] >> block_bits;
             let bca: Vec<u32> = (0..order).map(ba).collect();
             let bcb: Vec<u32> = (0..order).map(bb).collect();
-            morton::morton_cmp(&bca, &bcb).then_with(|| {
-                for arr in inds {
-                    match arr[a].cmp(&arr[b]) {
-                        std::cmp::Ordering::Equal => continue,
-                        ord => return ord,
+            morton::morton_cmp(&bca, &bcb)
+                .then_with(|| {
+                    for arr in inds {
+                        match arr[a].cmp(&arr[b]) {
+                            std::cmp::Ordering::Equal => continue,
+                            ord => return ord,
+                        }
                     }
-                }
-                std::cmp::Ordering::Equal
-            })
+                    std::cmp::Ordering::Equal
+                })
+                .then(a.cmp(&b))
         });
     }
 
     apply_perm(t, &perm);
     t.sort = SortState::Morton { block_bits };
+}
+
+/// `true` if the Morton block key plus per-mode element offsets pack into
+/// one 128-bit key (always for the paper's order-3/4 datasets).
+fn morton_radix_fits(dims: &[u32], block_bits: u8) -> bool {
+    let order = dims.len();
+    if order == 0 || order > 4 {
+        return false;
+    }
+    let maxbits = morton_block_bits_needed(dims, block_bits);
+    order * (maxbits + block_bits as usize) <= 128
+}
+
+/// Bits needed for the widest block coordinate any mode can produce.
+fn morton_block_bits_needed(dims: &[u32], block_bits: u8) -> usize {
+    dims.iter()
+        .map(|&d| radix::bits_for(d.saturating_sub(1) >> block_bits) as usize)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Radix permutation for the Morton sort: one packed key per nonzero —
+/// interleaved block coordinates in the high bits, per-mode element
+/// offsets (mode 0 most significant) in the low bits — sorted by the
+/// parallel stable LSD engine. Identical ordering to the comparator path:
+/// equal packed keys imply equal coordinates, which stability resolves to
+/// ascending original position.
+fn morton_perm_radix(inds: &[Vec<u32>], dims: &[u32], block_bits: u8, perm: &mut Vec<u32>) {
+    let order = inds.len();
+    let bb = block_bits as usize;
+    let maxbits = morton_block_bits_needed(dims, block_bits);
+    let emask = (1u32 << block_bits) - 1;
+    let ebits_total = order * bb;
+    let total_bits = order * maxbits + ebits_total;
+    if total_bits == 0 {
+        return;
+    }
+    let keys: Vec<u128> = (0..perm.len())
+        .into_par_iter()
+        .with_min_len(4096)
+        .map(|i| {
+            let mut bc = [0u32; 4];
+            let mut e = 0u128;
+            for (mode, arr) in inds.iter().enumerate() {
+                bc[mode] = arr[i] >> block_bits;
+                e = (e << bb) | (arr[i] & emask) as u128;
+            }
+            (morton::interleave_key_bits(&bc[..order], maxbits) << ebits_total) | e
+        })
+        .collect();
+    let max_key = if total_bits >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << total_bits) - 1
+    };
+    radix::sort_perm_by_u128_keys(perm, &keys, max_key);
 }
 
 #[cfg(test)]

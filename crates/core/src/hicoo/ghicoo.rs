@@ -19,6 +19,7 @@ use rayon::prelude::*;
 
 use crate::coo::CooTensor;
 use crate::error::{Result, TensorError};
+use crate::radix;
 use crate::scalar::Scalar;
 use crate::shape::Shape;
 
@@ -92,9 +93,20 @@ impl<S: Scalar> GHicooTensor<S> {
         let umodes: Vec<usize> = (0..order).filter(|&md| !compressed[md]).collect();
 
         // Sort permutation: Morton over compressed block coords, then
-        // compressed coords, then uncompressed coords.
+        // compressed coords, then uncompressed coords. Up to four compressed
+        // modes go through the radix pipeline; beyond that the comparison
+        // fallback handles the (unused in the paper) general case.
         let mut perm: Vec<u32> = (0..m as u32).collect();
-        {
+        if cmodes.len() <= 4 {
+            ghicoo_perm_radix(
+                coo.inds(),
+                coo.shape().dims(),
+                block_bits,
+                &cmodes,
+                &umodes,
+                &mut perm,
+            );
+        } else {
             let inds = coo.inds();
             let cm = &cmodes;
             let um = &umodes;
@@ -121,6 +133,9 @@ impl<S: Scalar> GHicooTensor<S> {
                         }
                         std::cmp::Ordering::Equal
                     })
+                    // Index tie-break: identical result to the stable radix
+                    // pipeline on duplicate coordinates.
+                    .then(a.cmp(&b))
             });
         }
 
@@ -362,6 +377,104 @@ impl<S: Scalar> GHicooTensor<S> {
             }
         }
         Ok(())
+    }
+}
+
+/// Radix permutation for gHiCOO's mixed ordering: (Morton block key over the
+/// compressed modes, compressed coords lex, uncompressed coords lex, original
+/// index). When everything packs into 128 bits a single key per nonzero is
+/// sorted in one go; otherwise stable LSD passes run least-significant group
+/// first (uncompressed coords, then compressed coords, then the Morton block
+/// key), which composes to the same total order. Within one Morton block the
+/// per-mode block coords are all equal, so full-coordinate order equals
+/// element-offset order — matching the comparator fallback exactly.
+fn ghicoo_perm_radix(
+    inds: &[Vec<u32>],
+    dims: &[u32],
+    block_bits: u8,
+    cmodes: &[usize],
+    umodes: &[usize],
+    perm: &mut Vec<u32>,
+) {
+    let ncm = cmodes.len();
+    let bb = block_bits as usize;
+    let maxbits = cmodes
+        .iter()
+        .map(|&md| radix::bits_for(dims[md].saturating_sub(1) >> block_bits) as usize)
+        .max()
+        .unwrap_or(0);
+    let uwidths: Vec<usize> = umodes
+        .iter()
+        .map(|&md| radix::bits_for(dims[md].saturating_sub(1)) as usize)
+        .collect();
+    let ubits: usize = uwidths.iter().sum();
+    let total_bits = ncm * (maxbits + bb) + ubits;
+    if total_bits == 0 {
+        return;
+    }
+
+    if total_bits <= 128 {
+        let emask = (1u32 << block_bits) - 1;
+        let keys: Vec<u128> = (0..perm.len())
+            .into_par_iter()
+            .with_min_len(4096)
+            .map(|i| {
+                let mut key: u128 = if ncm == 0 {
+                    0
+                } else {
+                    let mut bc = [0u32; 4];
+                    for (ci, &md) in cmodes.iter().enumerate() {
+                        bc[ci] = inds[md][i] >> block_bits;
+                    }
+                    morton::interleave_key_bits(&bc[..ncm], maxbits)
+                };
+                for &md in cmodes {
+                    key = (key << bb) | (inds[md][i] & emask) as u128;
+                }
+                for (u, &md) in umodes.iter().enumerate() {
+                    key = (key << uwidths[u]) | inds[md][i] as u128;
+                }
+                key
+            })
+            .collect();
+        let max_key = if total_bits >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << total_bits) - 1
+        };
+        radix::sort_perm_by_u128_keys(perm, &keys, max_key);
+        return;
+    }
+
+    // Hybrid multi-key path: each stage is stable, so running them from the
+    // least significant group upward yields the packed-key order.
+    for &md in umodes.iter().rev() {
+        let arr = &inds[md];
+        radix::sort_perm_by_u32_key(perm, |p| arr[p as usize], dims[md].saturating_sub(1));
+    }
+    for &md in cmodes.iter().rev() {
+        let arr = &inds[md];
+        radix::sort_perm_by_u32_key(perm, |p| arr[p as usize], dims[md].saturating_sub(1));
+    }
+    if ncm > 0 && maxbits > 0 {
+        let keys: Vec<u128> = (0..perm.len())
+            .into_par_iter()
+            .with_min_len(4096)
+            .map(|i| {
+                let mut bc = [0u32; 4];
+                for (ci, &md) in cmodes.iter().enumerate() {
+                    bc[ci] = inds[md][i] >> block_bits;
+                }
+                morton::interleave_key_bits(&bc[..ncm], maxbits)
+            })
+            .collect();
+        let mbits = ncm * maxbits;
+        let max_key = if mbits >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << mbits) - 1
+        };
+        radix::sort_perm_by_u128_keys(perm, &keys, max_key);
     }
 }
 

@@ -26,6 +26,8 @@ pub use shicoo::SemiSparseHicooTensor;
 
 use std::collections::BTreeMap;
 
+use rayon::prelude::*;
+
 use crate::coo::{CooTensor, SortState};
 use crate::error::{Result, TensorError};
 use crate::scalar::Scalar;
@@ -80,36 +82,63 @@ impl<S: Scalar> HicooTensor<S> {
     pub fn from_coo_inplace(coo: &mut CooTensor<S>, block_bits: u8) -> Result<Self> {
         check_block_bits(block_bits)?;
         coo.sort_morton(block_bits);
-        let order = coo.order();
         let m = coo.nnz();
         let emask = (1u32 << block_bits) - 1;
+        let inds = coo.inds();
 
-        let mut bptr: Vec<u64> = Vec::new();
-        let mut binds: Vec<Vec<u32>> = vec![Vec::new(); order];
-        let mut einds: Vec<Vec<u8>> = vec![Vec::with_capacity(m); order];
-        let mut vals: Vec<S> = Vec::with_capacity(m);
-
-        let mut prev_block: Vec<u32> = vec![u32::MAX; order];
-        for i in 0..m {
-            let mut new_block = bptr.is_empty();
-            for (mode, arr) in coo.inds().iter().enumerate() {
-                if arr[i] >> block_bits != prev_block[mode] {
-                    new_block = true;
-                }
-            }
-            if new_block {
-                bptr.push(i as u64);
-                for (mode, arr) in coo.inds().iter().enumerate() {
-                    prev_block[mode] = arr[i] >> block_bits;
-                    binds[mode].push(prev_block[mode]);
-                }
-            }
-            for (mode, arr) in coo.inds().iter().enumerate() {
-                einds[mode].push((arr[i] & emask) as u8);
-            }
-            vals.push(coo.vals()[i]);
-        }
+        // Block boundaries: a nonzero starts a new block iff any mode's block
+        // coordinate differs from its predecessor's. Chunks scan disjoint
+        // ranges (each looks back one element at most, safely inside the
+        // sorted arrays) and their boundary lists concatenate in order.
+        let mut bptr: Vec<u64> = if m == 0 {
+            Vec::new()
+        } else {
+            let threads = rayon::current_num_threads().max(1);
+            let nchunks = threads.min(m.div_ceil(4096)).max(1);
+            let bounds: Vec<usize> = (0..=nchunks).map(|c| c * m / nchunks).collect();
+            let per_chunk: Vec<Vec<u64>> = (0..nchunks)
+                .into_par_iter()
+                .with_min_len(1)
+                .map(|c| {
+                    let mut v = Vec::new();
+                    for i in bounds[c]..bounds[c + 1] {
+                        let boundary = i == 0
+                            || inds
+                                .iter()
+                                .any(|arr| arr[i] >> block_bits != arr[i - 1] >> block_bits);
+                        if boundary {
+                            v.push(i as u64);
+                        }
+                    }
+                    v
+                })
+                .collect();
+            per_chunk.concat()
+        };
         bptr.push(m as u64);
+
+        let nb = bptr.len() - 1;
+        let bptr_ref = &bptr;
+        let binds: Vec<Vec<u32>> = inds
+            .iter()
+            .map(|arr| {
+                (0..nb)
+                    .into_par_iter()
+                    .with_min_len(256)
+                    .map(|b| arr[bptr_ref[b] as usize] >> block_bits)
+                    .collect()
+            })
+            .collect();
+        let einds: Vec<Vec<u8>> = inds
+            .iter()
+            .map(|arr| {
+                arr.par_iter()
+                    .with_min_len(4096)
+                    .map(|&x| (x & emask) as u8)
+                    .collect()
+            })
+            .collect();
+        let vals: Vec<S> = coo.vals().to_vec();
 
         Ok(HicooTensor {
             shape: coo.shape().clone(),

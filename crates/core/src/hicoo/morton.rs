@@ -16,13 +16,26 @@ use std::cmp::Ordering;
 /// # Panics
 /// Panics if `coords.len() > 4` (the packed key would overflow 128 bits).
 pub fn interleave_key(coords: &[u32]) -> u128 {
+    interleave_key_bits(coords, 32)
+}
+
+/// Interleave only the low `bits` bits of each coordinate. When every
+/// coordinate is below `2^bits` this orders identically to
+/// [`interleave_key`] while producing a key of only `bits * order` bits —
+/// the compact form the radix conversion pipeline packs element indices
+/// next to.
+///
+/// # Panics
+/// Panics if `coords.len() > 4` or if `bits * coords.len() > 128`.
+pub fn interleave_key_bits(coords: &[u32], bits: usize) -> u128 {
     let order = coords.len();
     assert!(
         (1..=4).contains(&order),
         "packed Morton keys support order 1..=4"
     );
+    assert!(bits * order <= 128, "packed Morton key overflows 128 bits");
     let mut key: u128 = 0;
-    for b in 0..32 {
+    for b in 0..bits.min(32) {
         for (m, &c) in coords.iter().enumerate() {
             let bit = ((c >> b) & 1) as u128;
             key |= bit << (b * order + (order - 1 - m));
@@ -106,9 +119,15 @@ mod tests {
         let mut coords: Vec<Vec<u32>> = (0..4)
             .flat_map(|i| (0..4).flat_map(move |j| (0..4).map(move |k| vec![i, j, k])))
             .collect();
-        let mut by_key = coords.clone();
-        coords.sort_by(|a, b| morton_cmp(a, b));
-        by_key.sort_by_key(|c| interleave_key(c));
+        // Reference side: cache each key once instead of re-interleaving on
+        // every comparison, and sort unstably (keys are unique here).
+        let mut keyed: Vec<(u128, Vec<u32>)> = coords
+            .iter()
+            .map(|c| (interleave_key(c), c.clone()))
+            .collect();
+        keyed.sort_unstable_by_key(|&(k, _)| k);
+        let by_key: Vec<Vec<u32>> = keyed.into_iter().map(|(_, c)| c).collect();
+        coords.sort_unstable_by(|a, b| morton_cmp(a, b));
         assert_eq!(coords, by_key);
     }
 

@@ -75,6 +75,7 @@ pub mod hicoo;
 pub mod kernels;
 pub mod methods;
 pub mod par;
+pub mod radix;
 pub mod reorder;
 pub mod scalar;
 pub mod sched;

@@ -115,9 +115,13 @@ pub struct ScratchArena<T, F: Fn() -> T> {
 }
 
 impl<T: Send, F: Fn() -> T + Sync> ScratchArena<T, F> {
-    /// Create an arena with one slot per worker of the current pool.
+    /// Create an arena with one slot per worker of the widest pool this
+    /// process has installed (not just the pool active at creation time):
+    /// arenas are often built outside any `ThreadPool::install` scope and
+    /// then used inside one, and sizing from the instantaneous thread count
+    /// would leave later regions sharing slots.
     pub fn new(make: F) -> Self {
-        let n = current_threads().max(1);
+        let n = rayon::max_num_threads().max(current_threads()).max(1);
         let slots = (0..n)
             .map(|_| ArenaSlot {
                 busy: AtomicBool::new(false),
@@ -234,5 +238,14 @@ mod tests {
             })
             .collect();
         assert!(results.iter().enumerate().all(|(i, &r)| r == i * 16));
+    }
+
+    #[test]
+    fn scratch_arena_sized_for_installed_pools() {
+        // Installing a wide pool first means an arena created *outside* any
+        // install scope still gets one slot per potential worker.
+        with_threads(5, || {});
+        let arena = ScratchArena::new(|| 0u8);
+        assert!(arena.slots.len() >= 5, "slots = {}", arena.slots.len());
     }
 }

@@ -1,0 +1,282 @@
+//! Parallel stable LSD radix sorting over packed coordinate keys.
+//!
+//! Every reordering in the suite — lexicographic / mode-last COO sorts,
+//! Morton block sorts for HiCOO, gHiCOO's mixed permutation sort, and the
+//! counting sort behind `sched::RowSchedule` — reduces to "stably sort a
+//! `u32` permutation by an integer key". This module provides that engine:
+//! least-significant-digit radix passes over 8-bit digits, each pass built
+//! from per-chunk histograms, one digit-major exclusive scan, and a
+//! parallel stable scatter.
+//!
+//! Determinism: a pass scatters chunk `c`'s occurrences of digit `d` to
+//! `offset[d] + (occurrences of d in chunks < c)`, preserving relative
+//! order both within and across chunks. Every pass is therefore a *stable*
+//! sort by its digit regardless of how many chunks (threads) participate,
+//! so the final permutation is the unique stable order of the full key —
+//! identical to a sequential comparator sort with an index tie-break.
+
+use rayon::prelude::*;
+
+/// Number of distinct 8-bit digits.
+const BUCKETS: usize = 256;
+
+/// Below this many elements a parallel pass is all overhead.
+const PAR_MIN: usize = 1 << 14;
+
+/// Smallest per-chunk share worth a dedicated histogram.
+const MIN_CHUNK: usize = 1 << 12;
+
+/// Number of 8-bit passes needed to cover `max_key`.
+#[inline]
+pub fn passes_for(max_key: u128) -> usize {
+    if max_key == 0 {
+        0
+    } else {
+        (128 - max_key.leading_zeros() as usize).div_ceil(8)
+    }
+}
+
+/// Bits needed to represent every value in `0..=max_value`.
+#[inline]
+pub fn bits_for(max_value: u32) -> u32 {
+    32 - max_value.leading_zeros()
+}
+
+/// Write-only shared pointer for the disjoint scatter phase.
+struct RawOut(*mut u32);
+unsafe impl Sync for RawOut {}
+unsafe impl Send for RawOut {}
+
+/// Stably sort `perm` by an abstract little-endian key, 8 bits per pass.
+///
+/// `digit(p, pass)` must return byte `pass` (0 = least significant) of
+/// element `p`'s key and be pure: the engine may evaluate it repeatedly and
+/// from any thread. `passes` bounds the key width; use [`passes_for`].
+pub fn sort_perm_by_digits<D>(perm: &mut Vec<u32>, passes: usize, digit: D)
+where
+    D: Fn(u32, usize) -> u8 + Sync,
+{
+    let n = perm.len();
+    if n <= 1 || passes == 0 {
+        return;
+    }
+    let threads = rayon::current_num_threads().max(1);
+    let mut buf: Vec<u32> = vec![0u32; n];
+    for pass in 0..passes {
+        let skipped = if threads > 1 && n >= PAR_MIN {
+            parallel_pass(perm, &mut buf, pass, &digit, threads)
+        } else {
+            sequential_pass(perm, &mut buf, pass, &digit)
+        };
+        if !skipped {
+            std::mem::swap(perm, &mut buf);
+        }
+    }
+}
+
+/// One sequential stable counting pass. Returns `true` if the pass was a
+/// no-op (all elements share the digit) and `buf` was left untouched.
+fn sequential_pass<D>(perm: &[u32], buf: &mut [u32], pass: usize, digit: &D) -> bool
+where
+    D: Fn(u32, usize) -> u8,
+{
+    let mut hist = [0u32; BUCKETS];
+    for &p in perm {
+        hist[digit(p, pass) as usize] += 1;
+    }
+    if hist.iter().any(|&c| c as usize == perm.len()) {
+        return true;
+    }
+    let mut offs = [0u32; BUCKETS];
+    let mut running = 0u32;
+    for d in 0..BUCKETS {
+        offs[d] = running;
+        running += hist[d];
+    }
+    for &p in perm {
+        let d = digit(p, pass) as usize;
+        buf[offs[d] as usize] = p;
+        offs[d] += 1;
+    }
+    false
+}
+
+/// One parallel stable counting pass: per-chunk histograms, a digit-major
+/// exclusive scan, then a disjoint scatter. Returns `true` if skipped.
+fn parallel_pass<D>(perm: &[u32], buf: &mut [u32], pass: usize, digit: &D, threads: usize) -> bool
+where
+    D: Fn(u32, usize) -> u8 + Sync,
+{
+    let n = perm.len();
+    let nchunks = threads.min(n / MIN_CHUNK).max(1);
+    let bounds: Vec<usize> = (0..=nchunks).map(|c| c * n / nchunks).collect();
+
+    // Per-chunk digit histograms.
+    let mut hists: Vec<[u32; BUCKETS]> = (0..nchunks)
+        .into_par_iter()
+        .with_min_len(1)
+        .map(|c| {
+            let mut h = [0u32; BUCKETS];
+            for &p in &perm[bounds[c]..bounds[c + 1]] {
+                h[digit(p, pass) as usize] += 1;
+            }
+            h
+        })
+        .collect();
+
+    // Skip the pass outright when a single digit owns every element.
+    let mut totals = [0u32; BUCKETS];
+    for h in &hists {
+        for d in 0..BUCKETS {
+            totals[d] += h[d];
+        }
+    }
+    if totals.iter().any(|&t| t as usize == n) {
+        return true;
+    }
+
+    // Digit-major exclusive scan turns each chunk's histogram into its
+    // private start offsets; chunk c's digit-d run lands directly after
+    // every earlier chunk's digit-d run, which is what makes the scatter
+    // stable for any chunk count.
+    let mut running = 0u32;
+    for d in 0..BUCKETS {
+        for h in hists.iter_mut() {
+            let count = h[d];
+            h[d] = running;
+            running += count;
+        }
+    }
+
+    let out = RawOut(buf.as_mut_ptr());
+    let out_ref = &out;
+    let hists_ref = &hists;
+    let bounds_ref = &bounds;
+    (0..nchunks).into_par_iter().with_min_len(1).for_each(|c| {
+        let mut offs = hists_ref[c];
+        for &p in &perm[bounds_ref[c]..bounds_ref[c + 1]] {
+            let d = digit(p, pass) as usize;
+            // SAFETY: the scan above assigns every (chunk, digit) run a
+            // slice of `buf` disjoint from all others, and `buf` has
+            // length n >= the sum of all runs.
+            unsafe { out_ref.0.add(offs[d] as usize).write(p) };
+            offs[d] += 1;
+        }
+    });
+    false
+}
+
+/// Stably sort `perm` by precomputed packed keys (`keys[p]`), processing
+/// only the bytes up to the highest set byte of `max_key`.
+pub fn sort_perm_by_u128_keys(perm: &mut Vec<u32>, keys: &[u128], max_key: u128) {
+    let passes = passes_for(max_key);
+    sort_perm_by_digits(perm, passes, |p, pass| {
+        (keys[p as usize] >> (8 * pass)) as u8
+    });
+}
+
+/// Stably sort `perm` by a `u32` key, processing only the bytes up to the
+/// highest set byte of `max_value`.
+pub fn sort_perm_by_u32_key<K>(perm: &mut Vec<u32>, key: K, max_value: u32)
+where
+    K: Fn(u32) -> u32 + Sync,
+{
+    let passes = passes_for(max_value as u128);
+    sort_perm_by_digits(perm, passes, |p, pass| (key(p) >> (8 * pass)) as u8);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::with_threads;
+
+    fn splitmix(seed: u64) -> impl FnMut() -> u64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    fn reference_perm(keys: &[u128]) -> Vec<u32> {
+        let mut perm: Vec<u32> = (0..keys.len() as u32).collect();
+        perm.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]).then(a.cmp(&b)));
+        perm
+    }
+
+    #[test]
+    fn matches_stable_comparator_sort() {
+        let mut rng = splitmix(7);
+        for &n in &[0usize, 1, 2, 100, 5_000, 40_000] {
+            let keys: Vec<u128> = (0..n).map(|_| (rng() % 10_000) as u128).collect();
+            let max = keys.iter().copied().max().unwrap_or(0);
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            sort_perm_by_u128_keys(&mut perm, &keys, max);
+            assert_eq!(perm, reference_perm(&keys), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn identical_result_for_any_thread_count() {
+        let mut rng = splitmix(42);
+        let keys: Vec<u128> = (0..60_000)
+            .map(|_| (rng() as u128) << 64 | rng() as u128)
+            .collect();
+        let max = keys.iter().copied().max().unwrap();
+        let expect = reference_perm(&keys);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let mut perm: Vec<u32> = (0..keys.len() as u32).collect();
+            with_threads(threads, || sort_perm_by_u128_keys(&mut perm, &keys, max));
+            assert_eq!(perm, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn u32_key_sort_is_stable() {
+        // Many duplicates: stability means ties stay in index order.
+        let keys: Vec<u32> = (0..50_000u32).map(|i| i % 17).collect();
+        let mut perm: Vec<u32> = (0..keys.len() as u32).collect();
+        with_threads(4, || {
+            sort_perm_by_u32_key(&mut perm, |p| keys[p as usize], 16)
+        });
+        for w in perm.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let (ka, kb) = (keys[a as usize], keys[b as usize]);
+            assert!(ka < kb || (ka == kb && a < b));
+        }
+    }
+
+    #[test]
+    fn skips_constant_digit_passes() {
+        // All keys equal: every pass is skippable and the permutation must
+        // come back untouched (stable sort of a constant key).
+        let keys = vec![0xABu128; 30_000];
+        let mut perm: Vec<u32> = (0..keys.len() as u32).collect();
+        let expect = perm.clone();
+        with_threads(4, || sort_perm_by_u128_keys(&mut perm, &keys, 0xAB));
+        assert_eq!(perm, expect);
+    }
+
+    #[test]
+    fn zero_max_key_is_a_no_op() {
+        let mut perm: Vec<u32> = vec![3, 1, 2];
+        sort_perm_by_u128_keys(&mut perm, &[0, 0, 0, 0], 0);
+        assert_eq!(perm, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn helpers_compute_widths() {
+        assert_eq!(passes_for(0), 0);
+        assert_eq!(passes_for(1), 1);
+        assert_eq!(passes_for(255), 1);
+        assert_eq!(passes_for(256), 2);
+        assert_eq!(passes_for(u128::MAX), 16);
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(u32::MAX), 32);
+    }
+}

@@ -247,13 +247,15 @@ impl RowSchedule {
         for i in 0..rows_n {
             rptr[i + 1] += rptr[i];
         }
-        let mut cursor = rptr.clone();
-        let mut perm = vec![0u32; m];
-        for (z, &i) in rows.iter().enumerate() {
-            let slot = cursor[i as usize];
-            perm[slot as usize] = z as u32;
-            cursor[i as usize] += 1;
-        }
+        // Stable sort of nonzero positions by row index. The parallel LSD
+        // radix engine produces exactly the permutation the old sequential
+        // counting-sort scatter did (both are stable by original position).
+        let mut perm: Vec<u32> = (0..m as u32).collect();
+        crate::radix::sort_perm_by_u32_key(
+            &mut perm,
+            |p| rows[p as usize],
+            (rows_n as u32).saturating_sub(1),
+        );
         // Balance tasks over rows weighted by their nonzero counts. Row
         // weights are derived from rptr without materializing a second
         // array per row: balance over coarse row strips when rows_n is

@@ -1,0 +1,157 @@
+//! Equivalence proptests for the parallel radix sort pipeline.
+//!
+//! The conversion pipeline (PR: persistent pool + radix sorts) must be a
+//! drop-in replacement for the comparator sorts: on every input — including
+//! duplicate coordinates, which exercise the index tie-break — the radix
+//! backend must produce the *exact* permutation of the sequential
+//! comparator backend, and the result must be identical at every thread
+//! count.
+
+use proptest::prelude::*;
+use tenbench_core::coo::{CooTensor, SortAlgo};
+use tenbench_core::hicoo::{GHicooTensor, HicooTensor};
+use tenbench_core::par::with_threads;
+use tenbench_core::shape::Shape;
+
+/// Deterministic SplitMix64 for building random tensors from one seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A random COO tensor with *duplicate coordinates kept* (built through
+/// `from_parts`, which does not dedup) so that stability / tie-breaking is
+/// actually observable. Values are distinct, so any permutation difference
+/// between two sort backends shows up as a value-array mismatch.
+fn random_tensor(seed: u64) -> CooTensor<f32> {
+    let mut rng = Rng(seed);
+    let order = 2 + rng.below(3) as usize; // 2..=4
+    let dims: Vec<u32> = (0..order)
+        .map(|m| {
+            if m == 0 && rng.below(3) == 0 {
+                // Occasionally a long mode: multi-byte radix passes.
+                1 + rng.below(100_000) as u32
+            } else {
+                1 + rng.below(64) as u32
+            }
+        })
+        .collect();
+    let m = rng.below(2_000) as usize;
+    let inds: Vec<Vec<u32>> = dims
+        .iter()
+        .map(|&d| (0..m).map(|_| rng.below(d as u64) as u32).collect())
+        .collect();
+    // Low-entropy coordinates in a quarter of the cases: many exact
+    // duplicates, the tie-break torture test.
+    let inds = if rng.below(4) == 0 {
+        inds.iter()
+            .map(|arr| arr.iter().map(|&x| x % 3).collect())
+            .collect()
+    } else {
+        inds
+    };
+    let vals: Vec<f32> = (0..m).map(|i| i as f32).collect();
+    CooTensor::from_parts(Shape::new(dims), inds, vals).unwrap()
+}
+
+fn mode_order(seed: u64, order: usize) -> Vec<usize> {
+    let mut rng = Rng(seed ^ 0xDEAD_BEEF);
+    let mut perm: Vec<usize> = (0..order).collect();
+    for i in (1..order).rev() {
+        perm.swap(i, rng.below((i + 1) as u64) as usize);
+    }
+    perm
+}
+
+proptest! {
+    #[test]
+    fn lexicographic_radix_equals_comparator(seed in 0u64..u64::MAX) {
+        let t = random_tensor(seed);
+        let order = mode_order(seed, t.order());
+        let mut a = t.clone();
+        let mut b = t;
+        a.sort_lexicographic_with(&order, SortAlgo::Radix);
+        b.sort_lexicographic_with(&order, SortAlgo::Comparator);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn morton_radix_equals_comparator(seed in 0u64..u64::MAX, bb in 1u8..=8) {
+        let t = random_tensor(seed);
+        let mut a = t.clone();
+        let mut b = t;
+        a.sort_morton_with(bb, SortAlgo::Radix);
+        b.sort_morton_with(bb, SortAlgo::Comparator);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lexicographic_sort_is_thread_count_invariant(seed in 0u64..u64::MAX) {
+        let t = random_tensor(seed);
+        let order = mode_order(seed, t.order());
+        let reference = {
+            let mut r = t.clone();
+            with_threads(1, || r.sort_lexicographic(&order));
+            r
+        };
+        for threads in [2usize, 4] {
+            let mut s = t.clone();
+            with_threads(threads, || s.sort_lexicographic(&order));
+            prop_assert_eq!(&s, &reference, "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn morton_sort_is_thread_count_invariant(seed in 0u64..u64::MAX, bb in 1u8..=8) {
+        let t = random_tensor(seed);
+        let reference = {
+            let mut r = t.clone();
+            with_threads(1, || r.sort_morton(bb));
+            r
+        };
+        for threads in [2usize, 4] {
+            let mut s = t.clone();
+            with_threads(threads, || s.sort_morton(bb));
+            prop_assert_eq!(&s, &reference, "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn hicoo_conversion_is_thread_count_invariant(seed in 0u64..u64::MAX, bb in 1u8..=8) {
+        let t = random_tensor(seed);
+        let reference = with_threads(1, || HicooTensor::from_coo(&t, bb)).unwrap();
+        prop_assert_eq!(reference.to_coo().to_map(), t.to_map());
+        for threads in [2usize, 4] {
+            let h = with_threads(threads, || HicooTensor::from_coo(&t, bb)).unwrap();
+            prop_assert_eq!(&h, &reference, "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn ghicoo_conversion_is_thread_count_invariant(
+        seed in 0u64..u64::MAX,
+        bb in 1u8..=8,
+        cmask in 0u8..16,
+    ) {
+        let t = random_tensor(seed);
+        let compressed: Vec<bool> = (0..t.order()).map(|m| cmask & (1 << m) != 0).collect();
+        let reference =
+            with_threads(1, || GHicooTensor::from_coo(&t, bb, &compressed)).unwrap();
+        prop_assert_eq!(reference.to_coo().to_map(), t.to_map());
+        for threads in [2usize, 4] {
+            let g = with_threads(threads, || GHicooTensor::from_coo(&t, bb, &compressed)).unwrap();
+            prop_assert_eq!(&g, &reference, "threads = {}", threads);
+        }
+    }
+}

@@ -1,22 +1,35 @@
 //! Offline drop-in subset of [rayon](https://crates.io/crates/rayon)'s
-//! data-parallel API, backed by `std::thread::scope`.
+//! data-parallel API, backed by a lazily-initialized persistent worker pool.
 //!
 //! The build environment for this repository has no access to crates.io, so
 //! the workspace vendors the handful of external APIs it actually uses as
 //! small path crates under `crates/shims/`. This one covers the slice/range
 //! parallel iterators, `ThreadPoolBuilder::install` thread-count scoping,
-//! `broadcast`, and `current_num_threads`/`current_thread_index`.
+//! `broadcast`, parallel unstable sorts, and
+//! `current_num_threads`/`current_thread_index`.
 //!
 //! Semantics intentionally match rayon where the suite depends on them:
 //!
 //! * work is split into chunks of at least `with_min_len` items and executed
-//!   by up to `current_num_threads()` OS threads with dynamic (work-stealing
-//!   style) chunk assignment;
+//!   by up to `current_num_threads()` logical workers with dynamic
+//!   (work-stealing style) chunk assignment off a shared per-region counter;
+//! * worker OS threads are spawned lazily on first demand, then parked on a
+//!   condvar between regions and reused — parallel regions never spawn
+//!   per-region threads;
+//! * the submitting thread always participates, so a region completes even
+//!   if every pool worker is busy elsewhere (this also makes nested regions
+//!   deadlock-free);
+//! * panics inside a region are captured on whichever participant hit them
+//!   and re-thrown on the submitting thread after every helper has detached,
+//!   leaving the pool reusable;
 //! * `collect`/`filter`/`fold` preserve index order deterministically;
 //! * `ThreadPool::install` scopes the logical thread count seen by nested
 //!   parallel calls (used by the harness to emulate smaller machines);
 //! * `current_thread_index()` identifies the worker inside a parallel
-//!   region, enabling per-thread scratch arenas.
+//!   region, enabling per-thread scratch arenas;
+//! * `par_sort_unstable_by`/`par_sort_unstable_by_key` really sort in
+//!   parallel (per-chunk unstable sorts + pairwise index-run merges + an
+//!   in-place cycle permutation) with a left-run tie preference.
 //!
 //! Unsupported rayon features (adaptive splitting, full combinator set) are
 //! simply absent; additions should stay API-compatible with real rayon so
@@ -41,18 +54,301 @@ thread_local! {
     static THREAD_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
+/// Largest logical thread count ever requested via a built pool; feeds
+/// [`max_num_threads`].
+static MAX_LOGICAL: AtomicUsize = AtomicUsize::new(0);
+
+fn note_logical(n: usize) {
+    MAX_LOGICAL.fetch_max(n, AtomicOrdering::Relaxed);
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Number of worker threads parallel calls on this thread will use.
 pub fn current_num_threads() -> usize {
-    CURRENT_THREADS.with(|c| c.get()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    })
+    CURRENT_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(available_threads)
+}
+
+/// Upper bound on the number of logical workers any region in this process
+/// may use: the hardware parallelism or the widest pool built so far,
+/// whichever is larger. Useful for sizing per-thread slot arrays that must
+/// outlive a single `install` scope.
+pub fn max_num_threads() -> usize {
+    available_threads().max(MAX_LOGICAL.load(AtomicOrdering::Relaxed))
 }
 
 /// Index of the current worker inside a parallel region (`None` outside).
 pub fn current_thread_index() -> Option<usize> {
     THREAD_INDEX.with(|c| c.get())
+}
+
+mod pool {
+    //! The persistent worker pool behind every parallel region.
+    //!
+    //! A single process-wide registry owns a queue of open regions ("jobs")
+    //! and a set of detached worker threads parked on a condvar. Submitting
+    //! a region enqueues a job with `helpers` open claim slots and wakes
+    //! workers (spawning new ones only when fewer are idle than slots, up to
+    //! a process cap). Each participant — the submitting caller is always
+    //! participant 0 — drains chunks off the job's shared atomic counter
+    //! until the region is exhausted, so progress never depends on a worker
+    //! showing up. The caller then retracts the job (freezing the set of
+    //! joined helpers), waits for each of them to signal completion, and
+    //! finally re-throws the first captured panic, if any. Because the
+    //! caller blocks until every helper has detached, the job's borrowed,
+    //! lifetime-erased body pointer never outlives the closure it points to.
+
+    use std::any::Any;
+    use std::ops::Range;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+    use crate::{CURRENT_THREADS, THREAD_INDEX};
+
+    /// Hard cap on pool worker (helper) threads for the whole process.
+    const MAX_WORKERS: usize = 255;
+
+    type Body = dyn Fn(Range<usize>) + Sync;
+
+    struct JobState {
+        /// Helpers that have claimed a slot on this job so far.
+        joined: usize,
+        /// Helpers that have finished working on it.
+        finished: usize,
+    }
+
+    /// One parallel region: a chunk counter plus a lifetime-erased body.
+    struct Job {
+        /// Next chunk index to claim.
+        counter: AtomicUsize,
+        nchunks: usize,
+        chunk: usize,
+        len: usize,
+        /// Logical width of the region; propagated into workers so nested
+        /// parallel calls observe the installed thread count.
+        threads: usize,
+        /// Participant-index allocator; the submitting caller holds 0.
+        next_index: AtomicUsize,
+        /// Erased pointer to the caller's chunk body.
+        body: *const Body,
+        state: Mutex<JobState>,
+        done: Condvar,
+        panic: Mutex<Option<Box<dyn Any + Send>>>,
+    }
+
+    // SAFETY: `body` is only dereferenced while the submitting caller is
+    // blocked inside `run_region` — the caller retracts the job and waits
+    // for every joined helper before returning, so the erased borrow never
+    // dangles. The closure itself is `Sync`, and all other fields are
+    // thread-safe primitives.
+    unsafe impl Send for Job {}
+    unsafe impl Sync for Job {}
+
+    impl Job {
+        /// Pull chunks off the shared counter until the region is drained.
+        fn drain(&self) {
+            // SAFETY: see `unsafe impl Send for Job`.
+            let body = unsafe { &*self.body };
+            loop {
+                let c = self.counter.fetch_add(1, Ordering::Relaxed);
+                if c >= self.nchunks {
+                    break;
+                }
+                let lo = c * self.chunk;
+                body(lo..(lo + self.chunk).min(self.len));
+            }
+        }
+
+        fn record_panic(&self, payload: Box<dyn Any + Send>) {
+            let mut slot = self.panic.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+    }
+
+    struct Queue {
+        /// Open jobs, each with its remaining helper claim slots.
+        jobs: Vec<(Arc<Job>, usize)>,
+        /// Workers currently parked waiting for a job.
+        idle: usize,
+        /// Worker threads ever spawned (they never exit).
+        spawned: usize,
+    }
+
+    struct Registry {
+        queue: Mutex<Queue>,
+        work: Condvar,
+    }
+
+    fn registry() -> &'static Registry {
+        static REG: OnceLock<Registry> = OnceLock::new();
+        REG.get_or_init(|| Registry {
+            queue: Mutex::new(Queue {
+                jobs: Vec::new(),
+                idle: 0,
+                spawned: 0,
+            }),
+            work: Condvar::new(),
+        })
+    }
+
+    /// Number of worker threads the pool has ever spawned (diagnostics).
+    pub fn worker_count() -> usize {
+        registry().queue.lock().unwrap().spawned
+    }
+
+    fn worker_loop(reg: &'static Registry) {
+        loop {
+            // Claim a helper slot on some open, undrained job.
+            let job = {
+                let mut q = reg.queue.lock().unwrap();
+                loop {
+                    let pos = q.jobs.iter().position(|(j, slots)| {
+                        *slots > 0 && j.counter.load(Ordering::Relaxed) < j.nchunks
+                    });
+                    if let Some(pos) = pos {
+                        let job = q.jobs[pos].0.clone();
+                        q.jobs[pos].1 -= 1;
+                        if q.jobs[pos].1 == 0 {
+                            q.jobs.remove(pos);
+                        }
+                        // Registering under the registry lock means the
+                        // caller's retract() happens strictly before or
+                        // after this join — `joined` is frozen once the
+                        // job has left the queue.
+                        job.state.lock().unwrap().joined += 1;
+                        break job;
+                    }
+                    q.idle += 1;
+                    q = reg.work.wait(q).unwrap();
+                    q.idle -= 1;
+                }
+            };
+
+            let index = job.next_index.fetch_add(1, Ordering::Relaxed);
+            let prev_threads = CURRENT_THREADS.with(|c| c.replace(Some(job.threads)));
+            let prev_index = THREAD_INDEX.with(|c| c.replace(Some(index)));
+            let result = catch_unwind(AssertUnwindSafe(|| job.drain()));
+            THREAD_INDEX.with(|c| c.set(prev_index));
+            CURRENT_THREADS.with(|c| c.set(prev_threads));
+            if let Err(payload) = result {
+                job.record_panic(payload);
+            }
+            let mut st = job.state.lock().unwrap();
+            st.finished += 1;
+            job.done.notify_all();
+        }
+    }
+
+    fn submit(job: Arc<Job>, helpers: usize) {
+        let reg = registry();
+        let mut q = reg.queue.lock().unwrap();
+        q.jobs.push((job, helpers));
+        let deficit = helpers
+            .saturating_sub(q.idle)
+            .min(MAX_WORKERS.saturating_sub(q.spawned));
+        for _ in 0..deficit {
+            let spawned = std::thread::Builder::new()
+                .name(format!("tenbench-pool-{}", q.spawned))
+                .spawn(move || worker_loop(registry()))
+                .is_ok();
+            if spawned {
+                q.spawned += 1;
+            } else {
+                // Out of OS threads: the caller still drains the region.
+                break;
+            }
+        }
+        drop(q);
+        reg.work.notify_all();
+    }
+
+    fn retract(job: &Arc<Job>) {
+        let reg = registry();
+        let mut q = reg.queue.lock().unwrap();
+        q.jobs.retain(|(j, _)| !Arc::ptr_eq(j, job));
+    }
+
+    /// Execute `body` over `0..len` in chunks of at least `grain` items,
+    /// using up to `current_num_threads()` logical workers.
+    pub fn run_region(len: usize, grain: usize, body: &(dyn Fn(Range<usize>) + Sync)) {
+        if len == 0 {
+            return;
+        }
+        let threads = crate::current_num_threads().max(1);
+        let grain = grain.max(1);
+        // Aim for several chunks per worker for load balance, but never
+        // below the requested minimum chunk length.
+        let chunk = grain.max(len.div_ceil(threads * 4)).max(1);
+        let nchunks = len.div_ceil(chunk);
+        let helpers = (threads - 1)
+            .min(nchunks.saturating_sub(1))
+            .min(MAX_WORKERS);
+        if threads == 1 || len <= grain || helpers == 0 {
+            let prev = THREAD_INDEX.with(|c| c.replace(Some(0)));
+            body(0..len);
+            THREAD_INDEX.with(|c| c.set(prev));
+            return;
+        }
+
+        // SAFETY: the erased 'static lifetime is a lie confined to this
+        // function — the caller blocks below until every helper that joined
+        // the job has finished, so `body` outlives all uses.
+        let raw: *const (dyn Fn(Range<usize>) + Sync + '_) = body;
+        let erased: *const Body = unsafe { std::mem::transmute(raw) };
+        let job = Arc::new(Job {
+            counter: AtomicUsize::new(0),
+            nchunks,
+            chunk,
+            len,
+            threads,
+            next_index: AtomicUsize::new(1),
+            body: erased,
+            state: Mutex::new(JobState {
+                joined: 0,
+                finished: 0,
+            }),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        submit(job.clone(), helpers);
+
+        // The caller is participant 0 and always drains; a region finishes
+        // even if no worker ever picks it up.
+        let prev = THREAD_INDEX.with(|c| c.replace(Some(0)));
+        let caller_result = catch_unwind(AssertUnwindSafe(|| job.drain()));
+        THREAD_INDEX.with(|c| c.set(prev));
+
+        retract(&job);
+        {
+            let mut st = job.state.lock().unwrap();
+            while st.finished < st.joined {
+                st = job.done.wait(st).unwrap();
+            }
+        }
+
+        if let Some(payload) = job.panic.lock().unwrap().take() {
+            std::panic::resume_unwind(payload);
+        }
+        if let Err(payload) = caller_result {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Number of OS worker threads the persistent pool has spawned so far.
+/// Diagnostics only; not part of the rayon API.
+#[doc(hidden)]
+pub fn pool_worker_count() -> usize {
+    pool::worker_count()
 }
 
 /// Builder for a scoped thread pool (only `num_threads` is honored).
@@ -88,14 +384,15 @@ impl ThreadPoolBuilder {
 
     /// Build the pool (infallible here).
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool {
-            n: self.num.unwrap_or_else(current_num_threads).max(1),
-        })
+        let n = self.num.unwrap_or_else(current_num_threads).max(1);
+        note_logical(n);
+        Ok(ThreadPool { n })
     }
 }
 
-/// A logical thread pool: scopes the thread count seen by nested parallel
-/// calls. Threads are spawned per parallel region, not kept alive.
+/// A logical view onto the shared persistent pool: scopes the thread count
+/// seen by nested parallel calls. OS worker threads are owned by the global
+/// registry and shared by every `ThreadPool`.
 pub struct ThreadPool {
     n: usize,
 }
@@ -103,6 +400,7 @@ pub struct ThreadPool {
 impl ThreadPool {
     /// Run `f` with `current_num_threads()` equal to this pool's size.
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        note_logical(self.n);
         let prev = CURRENT_THREADS.with(|c| c.replace(Some(self.n)));
         let out = f();
         CURRENT_THREADS.with(|c| c.set(prev));
@@ -133,35 +431,36 @@ impl BroadcastContext {
     }
 }
 
-/// Run `f` once on every worker of the current pool, returning the results
-/// in worker order.
+/// Run `f` once per logical worker of the current pool, returning the
+/// results in worker order. Invocations are distributed over the persistent
+/// pool; a single OS thread may execute more than one logical index when
+/// the pool is narrower than the logical width.
 pub fn broadcast<R, F>(f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(BroadcastContext) -> R + Sync,
 {
     let n = current_num_threads().max(1);
-    let threads = n;
     let mut out: Vec<Option<R>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
-    let slots = Mutex::new(&mut out);
-    std::thread::scope(|s| {
-        let run = |idx: usize| {
-            CURRENT_THREADS.with(|c| c.set(Some(threads)));
-            let prev = THREAD_INDEX.with(|c| c.replace(Some(idx)));
-            let r = f(BroadcastContext {
-                index: idx,
-                num_threads: n,
-            });
-            THREAD_INDEX.with(|c| c.set(prev));
-            let mut guard = slots.lock().unwrap();
-            guard[idx] = Some(r);
-        };
-        for idx in 1..n {
-            s.spawn(move || run(idx));
-        }
-        run(0);
-    });
+    {
+        let ptr = OutPtr(out.as_mut_ptr());
+        let ptr_ref = &ptr;
+        let f_ref = &f;
+        pool::run_region(n, 1, &move |r: Range<usize>| {
+            for idx in r {
+                let prev = THREAD_INDEX.with(|c| c.replace(Some(idx)));
+                let v = f_ref(BroadcastContext {
+                    index: idx,
+                    num_threads: n,
+                });
+                THREAD_INDEX.with(|c| c.set(prev));
+                // SAFETY: run_region yields each index exactly once; the
+                // slot being overwritten is the initial `None`.
+                unsafe { ptr_ref.0.add(idx).write(Some(v)) };
+            }
+        });
+    }
     out.into_iter().map(|r| r.expect("worker result")).collect()
 }
 
@@ -171,42 +470,7 @@ fn run_chunks<F>(len: usize, grain: usize, body: F)
 where
     F: Fn(Range<usize>) + Sync,
 {
-    if len == 0 {
-        return;
-    }
-    let threads = current_num_threads().max(1);
-    let grain = grain.max(1);
-    if threads == 1 || len <= grain {
-        let prev = THREAD_INDEX.with(|c| c.replace(Some(0)));
-        body(0..len);
-        THREAD_INDEX.with(|c| c.set(prev));
-        return;
-    }
-    // Aim for several chunks per worker for load balance, but never below
-    // the requested minimum chunk length.
-    let chunk = grain.max(len.div_ceil(threads * 4)).max(1);
-    let nchunks = len.div_ceil(chunk);
-    let counter = AtomicUsize::new(0);
-    let workers = threads.min(nchunks);
-    std::thread::scope(|s| {
-        let work = |wid: usize| {
-            CURRENT_THREADS.with(|c| c.set(Some(threads)));
-            let prev = THREAD_INDEX.with(|c| c.replace(Some(wid)));
-            loop {
-                let c = counter.fetch_add(1, AtomicOrdering::Relaxed);
-                if c >= nchunks {
-                    break;
-                }
-                let lo = c * chunk;
-                body(lo..(lo + chunk).min(len));
-            }
-            THREAD_INDEX.with(|c| c.set(prev));
-        };
-        for wid in 1..workers {
-            s.spawn(move || work(wid));
-        }
-        work(0);
-    });
+    pool::run_region(len, grain, &body);
 }
 
 /// An indexed source of parallel items.
@@ -629,16 +893,134 @@ impl<T: Sync + Send> ParallelSliceExt<T> for [T] {
     }
 }
 
+/// Below this length a parallel sort is all overhead; fall back to the
+/// standard library's sequential unstable sort.
+const PAR_SORT_MIN: usize = 4096;
+
+/// Smallest per-chunk slice worth sorting independently.
+const PAR_SORT_MIN_CHUNK: usize = 1024;
+
+/// Merge two sorted index runs over `data`, preferring the left run on ties
+/// (keeps the merge deterministic for any comparator).
+fn merge_runs<T, F>(a: &[u32], b: &[u32], data: &[T], cmp: &F) -> Vec<u32>
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if cmp(&data[b[j] as usize], &data[a[i] as usize]) == Ordering::Less {
+            out.push(b[j]);
+            j += 1;
+        } else {
+            out.push(a[i]);
+            i += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+fn par_sort_impl<T, F>(data: &mut [T], cmp: F)
+where
+    T: Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = data.len();
+    let threads = current_num_threads().max(1);
+    let nchunks = threads.min(n / PAR_SORT_MIN_CHUNK).max(1);
+    if threads <= 1 || n < PAR_SORT_MIN || nchunks < 2 || n > u32::MAX as usize {
+        data.sort_unstable_by(|a, b| cmp(a, b));
+        return;
+    }
+    let bounds: Vec<usize> = (0..=nchunks).map(|i| i * n / nchunks).collect();
+
+    // Phase 1: sort each chunk independently, in parallel.
+    {
+        let mut parts: Vec<&mut [T]> = Vec::with_capacity(nchunks);
+        let mut rest: &mut [T] = data;
+        for w in bounds.windows(2) {
+            let (head, tail) = rest.split_at_mut(w[1] - w[0]);
+            parts.push(head);
+            rest = tail;
+        }
+        let cmp_ref = &cmp;
+        parts
+            .par_iter_mut()
+            .with_min_len(1)
+            .for_each(|p| p.sort_unstable_by(|a, b| cmp_ref(a, b)));
+    }
+
+    // Phase 2: merge the sorted runs as index permutations, pairwise per
+    // round, each round's merges running in parallel.
+    let perm = {
+        let snapshot: &[T] = data;
+        let mut runs: Vec<Vec<u32>> = bounds
+            .windows(2)
+            .map(|w| (w[0] as u32..w[1] as u32).collect())
+            .collect();
+        while runs.len() > 1 {
+            let mut iter = runs.into_iter();
+            let mut pairs: Vec<(Vec<u32>, Vec<u32>)> = Vec::new();
+            let mut leftover = None;
+            loop {
+                match (iter.next(), iter.next()) {
+                    (Some(a), Some(b)) => pairs.push((a, b)),
+                    (Some(a), None) => {
+                        leftover = Some(a);
+                        break;
+                    }
+                    (None, _) => break,
+                }
+            }
+            let cmp_ref = &cmp;
+            let mut merged: Vec<Vec<u32>> = pairs
+                .par_iter()
+                .with_min_len(1)
+                .map(|(a, b)| merge_runs(a, b, snapshot, cmp_ref))
+                .collect();
+            if let Some(l) = leftover {
+                merged.push(l);
+            }
+            runs = merged;
+        }
+        runs.pop().expect("at least one run")
+    };
+
+    // Phase 3: apply the gather permutation in place. Invert it into a
+    // scatter map, then follow swap cycles (O(n), no element clones).
+    let mut dest = vec![0u32; n];
+    for (k, &src) in perm.iter().enumerate() {
+        dest[src as usize] = k as u32;
+    }
+    drop(perm);
+    for i in 0..n {
+        while dest[i] as usize != i {
+            let j = dest[i] as usize;
+            data.swap(i, j);
+            dest.swap(i, j);
+        }
+    }
+}
+
 /// Parallel views over mutable slices.
 pub trait ParallelSliceMutExt<T: Send> {
     /// Parallel iterator over `&mut T`.
     fn par_iter_mut(&mut self) -> Par<SliceMutSrc<'_, T>>;
     /// Parallel iterator over `&mut [T]` chunks of length `n`.
     fn par_chunks_mut(&mut self, n: usize) -> Par<ChunksMutSrc<'_, T>>;
-    /// Sort in place (sequential under the hood; kept for API parity).
+    /// Sort in place, unstably, in parallel (chunk sorts + run merges).
     fn par_sort_unstable_by<F>(&mut self, cmp: F)
     where
+        T: Sync,
         F: Fn(&T, &T) -> Ordering + Sync;
+    /// Sort in place by a key, unstably, in parallel.
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        T: Sync,
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
 }
 
 impl<T: Send> ParallelSliceMutExt<T> for [T] {
@@ -666,9 +1048,18 @@ impl<T: Send> ParallelSliceMutExt<T> for [T] {
     }
     fn par_sort_unstable_by<F>(&mut self, cmp: F)
     where
+        T: Sync,
         F: Fn(&T, &T) -> Ordering + Sync,
     {
-        self.sort_unstable_by(|a, b| cmp(a, b));
+        par_sort_impl(self, cmp);
+    }
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        T: Sync,
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        par_sort_impl(self, |a, b| key(a).cmp(&key(b)));
     }
 }
 
@@ -676,6 +1067,7 @@ impl<T: Send> ParallelSliceMutExt<T> for [T] {
 mod tests {
     use super::prelude::*;
     use super::*;
+    use std::collections::HashSet;
 
     #[test]
     fn range_map_collect_preserves_order() {
@@ -769,6 +1161,22 @@ mod tests {
     }
 
     #[test]
+    fn par_sort_matches_sequential_on_large_input() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let mut v: Vec<u64> = (0..50_000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17))
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        pool.install(|| v.par_sort_unstable_by(|a, b| a.cmp(b)));
+        assert_eq!(v, expect);
+
+        let mut w: Vec<u32> = (0..20_000u32).rev().collect();
+        pool.install(|| w.par_sort_unstable_by_key(|&x| x % 7));
+        assert!(w.windows(2).all(|p| p[0] % 7 <= p[1] % 7));
+    }
+
+    #[test]
     fn thread_index_is_set_inside_regions() {
         assert_eq!(current_thread_index(), None);
         let seen = Mutex::new(Vec::new());
@@ -776,5 +1184,65 @@ mod tests {
             seen.lock().unwrap().push(current_thread_index());
         });
         assert!(seen.lock().unwrap().iter().all(|i| i.is_some()));
+    }
+
+    #[test]
+    fn worker_threads_are_reused_across_regions() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let region_ids = || -> HashSet<std::thread::ThreadId> {
+            pool.install(|| {
+                // The barrier forces both chunks onto distinct threads, so
+                // every region genuinely involves one pool worker.
+                let barrier = std::sync::Barrier::new(2);
+                let ids = Mutex::new(HashSet::new());
+                (0..2).into_par_iter().with_min_len(1).for_each(|_| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                    barrier.wait();
+                });
+                ids.into_inner().unwrap()
+            })
+        };
+        let main_id = std::thread::current().id();
+        let mut helper_ids = HashSet::new();
+        for _ in 0..10 {
+            let ids = region_ids();
+            assert_eq!(ids.len(), 2, "two distinct threads participate");
+            assert!(ids.contains(&main_id), "caller participates");
+            helper_ids.extend(ids.into_iter().filter(|&id| id != main_id));
+            // Give the helper a moment to park again so the next region
+            // finds it idle instead of spawning a replacement.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        // A spawn-per-region implementation would burn a fresh helper for
+        // every one of the 10 regions; the persistent pool parks and
+        // reuses. Allow a little slack for scheduler noise.
+        assert!(
+            helper_ids.len() <= 3,
+            "pool helpers reused across regions, saw {} distinct",
+            helper_ids.len()
+        );
+    }
+
+    #[test]
+    fn panics_propagate_and_pool_stays_usable() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..10_000).into_par_iter().with_min_len(16).for_each(|i| {
+                    if i == 7_777 {
+                        panic!("injected fault");
+                    }
+                });
+            })
+        }));
+        assert!(r.is_err(), "panic crosses the parallel region boundary");
+        let v: Vec<usize> = pool.install(|| (0..1_000).into_par_iter().map(|i| i + 1).collect());
+        assert_eq!(v[999], 1_000, "pool still functional after a panic");
+    }
+
+    #[test]
+    fn max_num_threads_tracks_widest_pool() {
+        let _ = ThreadPoolBuilder::new().num_threads(6).build().unwrap();
+        assert!(max_num_threads() >= 6);
     }
 }
