@@ -8,6 +8,7 @@
 //!                   [--format coo|hicoo] [--block-bits B] [--reps K]
 //!                   [--strategy seq|atomic|privatized|row_locked|scheduled]
 //!                   [--max-seconds S] [--fallback on|off]
+//! tenbench kernel   --all [file] [--dataset s4] [--nnz N] [--mode N] ...
 //! tenbench ablate-mttkrp [--dataset s4] [--nnz N] [--rank R]
 //!                   [--block-bits B] [--reps K] [--out results.json]
 //!                   [--max-seconds S]
@@ -15,7 +16,18 @@
 //!                   [--threads 1,2,4,8] [--reps K] [--out BENCH_convert.json]
 //!                   [--min-speedup X]
 //! tenbench verify   <file> [--block-bits B] [--rank R] [--max-seconds S]
+//! tenbench report   <trace.json>
+//! tenbench obs-overhead [--dataset s4] [--nnz N] [--rank R] [--block-bits B]
+//!                   [--reps K] [--threads 1,2,4] [--rounds 3]
+//!                   [--out BENCH_obs_overhead.json] [--max-overhead-pct X]
 //! ```
+//!
+//! The measuring subcommands (`kernel`, `ablate-mttkrp`, `convert-bench`)
+//! additionally accept `--trace <path>` (write a chrome-trace JSON of the
+//! run, viewable in `about:tracing` / Perfetto) and `--profile` (append
+//! the hierarchical span profile, counters, and pool telemetry to the
+//! report). `report` validates and summarizes a written trace;
+//! `obs-overhead` measures the traced-vs-untraced cost of the capture.
 //!
 //! `--max-seconds` or `--fallback` switch `kernel` to supervised mode:
 //! the run executes on a watchdogged worker thread under panic isolation,
@@ -46,14 +58,21 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut pos: Vec<String> = Vec::new();
     let mut opts: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    // Flags that do not consume a value.
+    const SWITCHES: [&str; 2] = ["profile", "all"];
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
-            let val = args
-                .get(i + 1)
-                .ok_or_else(|| format!("--{key} needs a value"))?;
-            opts.insert(key.to_string(), val.clone());
-            i += 2;
+            if SWITCHES.contains(&key) {
+                opts.insert(key.to_string(), "on".to_string());
+                i += 1;
+            } else {
+                let val = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                opts.insert(key.to_string(), val.clone());
+                i += 2;
+            }
         } else {
             pos.push(args[i].clone());
             i += 1;
@@ -86,6 +105,10 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
             cfg.fallback = f;
         }
         cfg
+    };
+    let obs_opts = cli::ObsOptions {
+        trace: opts.get("trace").map(PathBuf::from),
+        profile: opts.contains_key("profile"),
     };
 
     match pos.first().map(String::as_str) {
@@ -120,48 +143,77 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
             Ok(cli::generate(family, &dims, nnz, seed, &PathBuf::from(out))?)
         }
         Some("kernel") => {
-            let [_, kernel, input] = &pos[..] else {
-                return Err("usage: tenbench kernel <name> <file> [options]".into());
-            };
             let mode = get_usize("mode", 0)?;
             let rank = get_usize("rank", 16)?;
             let format = opts.get("format").map(String::as_str).unwrap_or("coo");
             let reps = get_usize("reps", 5)?;
             let strategy = opts.get("strategy").map(String::as_str).unwrap_or("atomic");
-            if max_seconds.is_some() || fallback.is_some() {
-                Ok(cli::run_kernel_supervised(
-                    kernel,
-                    &PathBuf::from(input),
-                    mode,
-                    rank,
-                    format,
-                    block_bits,
-                    reps,
-                    strategy,
-                    &supervisor_cfg(),
-                )?)
-            } else {
-                Ok(cli::run_kernel(
-                    kernel,
-                    &PathBuf::from(input),
-                    mode,
-                    rank,
-                    format,
-                    block_bits,
-                    reps,
-                    strategy,
-                )?)
+            if opts.contains_key("all") {
+                let input = match &pos[..] {
+                    [_] => None,
+                    [_, input] => Some(PathBuf::from(input)),
+                    _ => return Err("usage: tenbench kernel --all [file] [options]".into()),
+                };
+                let nnz = get_usize("nnz", 50_000)?;
+                return Ok(cli::with_obs(&obs_opts, || {
+                    cli::run_kernel_all(
+                        input.as_deref(),
+                        opts.get("dataset").map(String::as_str).unwrap_or("s4"),
+                        nnz,
+                        mode,
+                        rank,
+                        block_bits,
+                        reps,
+                        strategy,
+                    )
+                })?);
             }
+            let [_, kernel, input] = &pos[..] else {
+                return Err("usage: tenbench kernel <name> <file> [options]".into());
+            };
+            Ok(cli::with_obs(&obs_opts, || {
+                if max_seconds.is_some() || fallback.is_some() {
+                    cli::run_kernel_supervised(
+                        kernel,
+                        &PathBuf::from(input),
+                        mode,
+                        rank,
+                        format,
+                        block_bits,
+                        reps,
+                        strategy,
+                        &supervisor_cfg(),
+                    )
+                } else {
+                    cli::run_kernel(
+                        kernel,
+                        &PathBuf::from(input),
+                        mode,
+                        rank,
+                        format,
+                        block_bits,
+                        reps,
+                        strategy,
+                    )
+                }
+            })?)
         }
-        Some("ablate-mttkrp") => Ok(cli::ablate_mttkrp(
-            opts.get("dataset").map(String::as_str).unwrap_or("s4"),
-            get_usize("nnz", 1_000_000)?,
-            get_usize("rank", 16)?,
-            block_bits,
-            get_usize("reps", 3)?,
-            opts.get("out").map(PathBuf::from).as_deref(),
-            &supervisor_cfg(),
-        )?),
+        Some("ablate-mttkrp") => {
+            let nnz = get_usize("nnz", 1_000_000)?;
+            let rank = get_usize("rank", 16)?;
+            let reps = get_usize("reps", 3)?;
+            Ok(cli::with_obs(&obs_opts, || {
+                cli::ablate_mttkrp(
+                    opts.get("dataset").map(String::as_str).unwrap_or("s4"),
+                    nnz,
+                    rank,
+                    block_bits,
+                    reps,
+                    opts.get("out").map(PathBuf::from).as_deref(),
+                    &supervisor_cfg(),
+                )
+            })?)
+        }
         Some("convert-bench") => {
             let threads: Vec<usize> = opts
                 .get("threads")
@@ -174,15 +226,19 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
                 .get("min-speedup")
                 .map(|v| v.parse().map_err(|_| "bad --min-speedup".to_string()))
                 .transpose()?;
-            Ok(cli::convert_bench(
-                opts.get("dataset").map(String::as_str).unwrap_or("s4"),
-                get_usize("nnz", 1_000_000)?,
-                block_bits,
-                &threads,
-                get_usize("reps", 3)?,
-                opts.get("out").map(PathBuf::from).as_deref(),
-                min_speedup,
-            )?)
+            let nnz = get_usize("nnz", 1_000_000)?;
+            let reps = get_usize("reps", 3)?;
+            Ok(cli::with_obs(&obs_opts, || {
+                cli::convert_bench(
+                    opts.get("dataset").map(String::as_str).unwrap_or("s4"),
+                    nnz,
+                    block_bits,
+                    &threads,
+                    reps,
+                    opts.get("out").map(PathBuf::from).as_deref(),
+                    min_speedup,
+                )
+            })?)
         }
         Some("verify") => {
             let [_, input] = &pos[..] else {
@@ -200,6 +256,36 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
             }
             Ok(report)
         }
-        _ => Err("usage: tenbench <convert|stats|generate|kernel|ablate-mttkrp|convert-bench|verify> ... (see --help in the module docs)".into()),
+        Some("report") => {
+            let [_, input] = &pos[..] else {
+                return Err("usage: tenbench report <trace.json>".into());
+            };
+            Ok(cli::report(&PathBuf::from(input))?)
+        }
+        Some("obs-overhead") => {
+            let threads: Vec<usize> = opts
+                .get("threads")
+                .map(String::as_str)
+                .unwrap_or("1,2,4")
+                .split(',')
+                .map(|t| t.parse().map_err(|_| "bad --threads"))
+                .collect::<Result<_, _>>()?;
+            let max_overhead_pct: Option<f64> = opts
+                .get("max-overhead-pct")
+                .map(|v| v.parse().map_err(|_| "bad --max-overhead-pct".to_string()))
+                .transpose()?;
+            Ok(cli::obs_overhead(
+                opts.get("dataset").map(String::as_str).unwrap_or("s4"),
+                get_usize("nnz", 200_000)?,
+                get_usize("rank", 16)?,
+                block_bits,
+                get_usize("reps", 3)?,
+                &threads,
+                get_usize("rounds", 3)?,
+                opts.get("out").map(PathBuf::from).as_deref(),
+                max_overhead_pct,
+            )?)
+        }
+        _ => Err("usage: tenbench <convert|stats|generate|kernel|ablate-mttkrp|convert-bench|verify|report|obs-overhead> ... (see the module docs)".into()),
     }
 }

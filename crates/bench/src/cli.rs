@@ -8,9 +8,11 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
+
+use tenbench_obs as obs;
 
 use tenbench_core::coo::{CooTensor, SortAlgo};
 use tenbench_core::dense::{DenseMatrix, DenseVector};
@@ -66,6 +68,55 @@ impl From<std::io::Error> for CliError {
 
 /// Result alias for CLI operations.
 pub type CliResult<T> = Result<T, CliError>;
+
+/// Observability options shared by the measuring subcommands
+/// (`--trace <path>` and `--profile`).
+#[derive(Debug, Clone, Default)]
+pub struct ObsOptions {
+    /// Write the run's chrome-trace JSON here.
+    pub trace: Option<PathBuf>,
+    /// Append the hierarchical span profile and metrics summary to the
+    /// report.
+    pub profile: bool,
+}
+
+impl ObsOptions {
+    /// `true` when any capture output was requested.
+    pub fn active(&self) -> bool {
+        self.trace.is_some() || self.profile
+    }
+}
+
+/// Run `body` under an observability capture when one was requested:
+/// spans, counters, and pool telemetry record for the duration; the
+/// drained trace is schema-validated and written to `--trace`, and
+/// `--profile` appends the span profile plus the metrics summary to the
+/// report. With no capture requested this is exactly `body()`.
+pub fn with_obs(opts: &ObsOptions, body: impl FnOnce() -> CliResult<String>) -> CliResult<String> {
+    if !opts.active() {
+        return body();
+    }
+    let cap = crate::metrics::Capture::begin();
+    let result = body();
+    let (trace, report) = cap.finish();
+    let mut out = result?;
+    if opts.profile {
+        out.push('\n');
+        out.push_str(&trace.profile());
+        out.push_str(&report.render());
+    }
+    if let Some(path) = &opts.trace {
+        let json = trace.to_chrome_json();
+        // Self-check before writing: an artifact that fails its own
+        // validator should never reach disk silently.
+        obs::json::validate_chrome_trace(&json).map_err(|e| {
+            CliError::Usage(format!("internal: emitted trace failed validation: {e}"))
+        })?;
+        std::fs::write(path, &json)?;
+        out.push_str(&format!("\nwrote trace {}", path.display()));
+    }
+    Ok(out)
+}
 
 /// Load a tensor by file extension: `.tns` (FROSTT text) or `.tnb`
 /// (tenbench binary).
@@ -366,11 +417,48 @@ pub fn run_kernel_on(
     ))
 }
 
+/// `kernel --all ...`: run every kernel on both formats against one
+/// tensor (loaded from `input`, or generated from the dataset registry
+/// when no file is given), one report line per cell. Under `--trace`
+/// this produces a capture spanning the full ten-cell sweep.
+#[allow(clippy::too_many_arguments)]
+pub fn run_kernel_all(
+    input: Option<&Path>,
+    dataset: &str,
+    nnz: usize,
+    mode: usize,
+    rank: usize,
+    block_bits: u8,
+    reps: usize,
+    strategy: &str,
+) -> CliResult<String> {
+    let x = match input {
+        Some(p) => load_tensor(p)?,
+        None => {
+            let d = tenbench_gen::registry::find(dataset)
+                .ok_or_else(|| CliError::Usage(format!("unknown dataset id {dataset:?}")))?;
+            d.generate_with(nnz, d.default_seed())
+        }
+    };
+    let mut out = String::new();
+    for kernel in ["tew", "ts", "ttv", "ttm", "mttkrp"] {
+        for format in ["coo", "hicoo"] {
+            out.push_str(&run_kernel_on(
+                &x, kernel, mode, rank, format, block_bits, reps, strategy,
+            )?);
+            out.push('\n');
+        }
+    }
+    Ok(out.trim_end().to_string())
+}
+
 /// `kernel ... --max-seconds S` / `--fallback on`: run one kernel under
 /// supervision (watchdog timeout, panic isolation, strategy fallback,
 /// output validation) and report the structured outcome alongside the
-/// timing. Unlike [`run_kernel`], each attempt times a single guarded
-/// execution; `reps` only affects the timing average inside an attempt.
+/// timing. The reported GFLOPS uses the kernel-only seconds measured
+/// inside the accepted attempt (the `time_avg` batch), never the attempt
+/// wall time, which additionally covers a warmup run and thread handoff;
+/// validation time is reported separately as `validate_s`.
 #[allow(clippy::too_many_arguments)]
 pub fn run_kernel_supervised(
     kernel: &str,
@@ -419,7 +507,7 @@ pub fn run_kernel_supervised_on(
     let xa = Arc::new(x.clone());
     let count_bad = |vals: &[f32]| vals.iter().filter(|v| !v.is_finite()).count();
 
-    let (kname, report) = match kernel {
+    let (kname, report, kernel_secs) = match kernel {
         "mttkrp" => {
             let strat = parse_strategy(strategy)?;
             let factors = Arc::new(make_factors(x, rank));
@@ -430,7 +518,9 @@ pub fn run_kernel_supervised_on(
             };
             let (report, _) =
                 supervisor::supervised_mttkrp(&cell, &xa, &factors, mode, hx.as_ref(), strat, cfg);
-            (Kernel::Mttkrp, report)
+            // The Mttkrp trials time a single guarded execution, so the
+            // attempt wall time is the kernel time.
+            (Kernel::Mttkrp, report, None)
         }
         "tew" => {
             let trial = if hicoo {
@@ -458,8 +548,8 @@ pub fn run_kernel_supervised_on(
                     Ok((secs, out.nonfinite_count()))
                 })
             };
-            let (report, _) = supervise_scalar(&cell, vec![trial], cfg);
-            (Kernel::Tew, report)
+            let (report, value) = supervise_scalar(&cell, vec![trial], cfg);
+            (Kernel::Tew, report, value.map(|(s, _)| s))
         }
         "ts" => {
             let trial = if hicoo {
@@ -481,8 +571,8 @@ pub fn run_kernel_supervised_on(
                     Ok((secs, out.nonfinite_count()))
                 })
             };
-            let (report, _) = supervise_scalar(&cell, vec![trial], cfg);
-            (Kernel::Ts, report)
+            let (report, value) = supervise_scalar(&cell, vec![trial], cfg);
+            (Kernel::Ts, report, value.map(|(s, _)| s))
         }
         "ttv" => {
             let v = Arc::new(DenseVector::constant(x.shape().dim(mode) as usize, 1.0f32));
@@ -539,8 +629,8 @@ pub fn run_kernel_supervised_on(
                     Ok((secs, out.nonfinite_count()))
                 })]
             };
-            let (report, _) = supervise_scalar(&cell, trials, cfg);
-            (Kernel::Ttv, report)
+            let (report, value) = supervise_scalar(&cell, trials, cfg);
+            (Kernel::Ttv, report, value.map(|(s, _)| s))
         }
         "ttm" => {
             let u = Arc::new(DenseMatrix::constant(
@@ -601,8 +691,8 @@ pub fn run_kernel_supervised_on(
                     Ok((secs, count_bad(out.vals())))
                 })]
             };
-            let (report, _) = supervise_scalar(&cell, trials, cfg);
-            (Kernel::Ttm, report)
+            let (report, value) = supervise_scalar(&cell, trials, cfg);
+            (Kernel::Ttm, report, value.map(|(s, _)| s))
         }
         other => {
             return Err(CliError::Usage(format!(
@@ -611,7 +701,7 @@ pub fn run_kernel_supervised_on(
         }
     };
     let flops = kname.flops(order, m, rank as u64);
-    Ok(render_supervised(x, &report, flops))
+    Ok(render_supervised(x, &report, flops, kernel_secs))
 }
 
 /// Supervise a chain of `(kernel seconds, non-finite count)` trials,
@@ -635,10 +725,19 @@ fn supervise_scalar(
     )
 }
 
-fn render_supervised(x: &CooTensor<f32>, report: &RunReport, flops: u64) -> String {
+/// Render a supervised run. GFLOPS comes from the kernel-only seconds the
+/// trial measured (`kernel_secs`) when available; the attempt wall time in
+/// the report also covers setup and the untimed warmup run, so using it
+/// would understate throughput.
+fn render_supervised(
+    x: &CooTensor<f32>,
+    report: &RunReport,
+    flops: u64,
+    kernel_secs: Option<f64>,
+) -> String {
     let mut out = String::new();
     if report.status.is_success() {
-        let t = report.time_s.unwrap_or(f64::INFINITY);
+        let t = kernel_secs.or(report.time_s).unwrap_or(f64::INFINITY);
         out.push_str(&format!(
             "{} on {} ({} nnz): status {} via {} in {} s = {} GFLOPS\n",
             report.cell,
@@ -1044,6 +1143,141 @@ pub fn convert_bench(
         out.push_str(&format!(
             "speedup gate: {final_speedup:.2}x >= {floor:.2}x ok\n"
         ));
+    }
+    Ok(out)
+}
+
+/// `report <trace.json>`: validate a previously written chrome trace
+/// against the Trace Event Format and summarize it (event count, lanes,
+/// nesting depth). Fails with a usage error when the file is not a valid
+/// trace, which is what the CI schema gate keys on.
+pub fn report(input: &Path) -> CliResult<String> {
+    let json = std::fs::read_to_string(input)?;
+    let s = obs::json::validate_chrome_trace(&json)
+        .map_err(|e| CliError::Usage(format!("{}: invalid chrome trace: {e}", input.display())))?;
+    Ok(format!(
+        "{}: valid chrome trace\n  events          {}\n  duration events {}\n  thread lanes    {}\n  max span depth  {}\n",
+        input.display(),
+        fint(s.total_events as u64),
+        fint(s.duration_events as u64),
+        fint(s.threads as u64),
+        fint(s.max_depth as u64),
+    ))
+}
+
+/// `obs-overhead`: measure the wall-time cost of full tracing over the
+/// measured CPU suite at each requested thread count. Untraced and traced
+/// runs are interleaved and the best of `rounds` is kept on both sides, so
+/// one-off scheduling noise cannot manufacture (or hide) overhead.
+/// Optionally writes `BENCH_obs_overhead.json` and enforces a maximum
+/// overhead percentage at every thread count (the CI gate).
+#[allow(clippy::too_many_arguments)]
+pub fn obs_overhead(
+    dataset: &str,
+    nnz: usize,
+    rank: usize,
+    block_bits: u8,
+    reps: usize,
+    threads_list: &[usize],
+    rounds: usize,
+    out_json: Option<&Path>,
+    max_overhead_pct: Option<f64>,
+) -> CliResult<String> {
+    let d = tenbench_gen::registry::find(dataset)
+        .ok_or_else(|| CliError::Usage(format!("unknown dataset id {dataset:?}")))?;
+    let x = d.generate_with(nnz, d.default_seed());
+    let machine = crate::suite::MachineModel {
+        name: "obs-overhead".into(),
+        ert_dram_gbs: 100.0,
+        peak_gflops: 1000.0,
+    };
+    let rounds = rounds.max(1);
+
+    struct Row {
+        threads: usize,
+        untraced_s: f64,
+        traced_s: f64,
+    }
+    let mut rows = Vec::new();
+    for &threads in threads_list {
+        let mut untraced_s = f64::INFINITY;
+        let mut traced_s = f64::INFINITY;
+        for _ in 0..rounds {
+            let t0 = Instant::now();
+            tenbench_core::par::with_threads(threads, || {
+                std::hint::black_box(crate::suite::run_cpu_suite(
+                    &x, &machine, rank, block_bits, reps,
+                ));
+            });
+            untraced_s = untraced_s.min(t0.elapsed().as_secs_f64());
+
+            let cap = crate::metrics::Capture::begin();
+            let t0 = Instant::now();
+            tenbench_core::par::with_threads(threads, || {
+                std::hint::black_box(crate::suite::run_cpu_suite(
+                    &x, &machine, rank, block_bits, reps,
+                ));
+            });
+            traced_s = traced_s.min(t0.elapsed().as_secs_f64());
+            let _ = cap.finish();
+        }
+        rows.push(Row {
+            threads,
+            untraced_s,
+            traced_s,
+        });
+    }
+    let pct = |r: &Row| (r.traced_s / r.untraced_s - 1.0) * 100.0;
+
+    let mut tab = TextTable::new(["Threads", "Untraced (s)", "Traced (s)", "Overhead"]);
+    for r in &rows {
+        tab.row([
+            r.threads.to_string(),
+            fnum(r.untraced_s),
+            fnum(r.traced_s),
+            format!("{:+.2}%", pct(r)),
+        ]);
+    }
+    let mut out = format!(
+        "Tracing overhead on {dataset} ({}, {} nnz, R = {rank}, B = {}, best of {rounds})\n",
+        x.shape(),
+        fint(x.nnz() as u64),
+        1u32 << block_bits,
+    );
+    out.push_str(&tab.render());
+
+    if let Some(path) = out_json {
+        let mut json = String::from("{\n");
+        json.push_str(&format!(
+            "  \"dataset\": \"{dataset}\",\n  \"shape\": \"{}\",\n  \"nnz\": {},\n  \"rank\": {rank},\n  \"block_bits\": {block_bits},\n  \"reps\": {reps},\n  \"rounds\": {rounds},\n",
+            x.shape(),
+            x.nnz(),
+        ));
+        json.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"threads\": {}, \"untraced_s\": {:.6e}, \"traced_s\": {:.6e}, \"overhead_pct\": {:.3}}}{}\n",
+                r.threads,
+                r.untraced_s,
+                r.traced_s,
+                pct(r),
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(path, &json)?;
+        out.push_str(&format!("wrote {}\n", path.display()));
+    }
+
+    if let Some(ceiling) = max_overhead_pct {
+        if let Some(r) = rows.iter().find(|r| pct(r) > ceiling) {
+            return Err(CliError::Usage(format!(
+                "tracing overhead regression: {:+.2}% at {} threads, above the ceiling of {ceiling:.2}%",
+                pct(r),
+                r.threads,
+            )));
+        }
+        out.push_str(&format!("overhead gate: all <= {ceiling:.2}% ok\n"));
     }
     Ok(out)
 }

@@ -11,6 +11,8 @@
 //!   simulated GPU suite (Figures 6–7), with per-tensor Roofline bounds.
 //! * [`supervisor`] — watchdog timeouts, panic isolation, strategy
 //!   fallback, and output validation for long sweeps.
+//! * [`metrics`] — observability glue: trace/counter capture lifecycle
+//!   and pool-telemetry snapshots merged into reports.
 
 // Index-heavy kernel code deliberately uses explicit loop indices over
 // several parallel arrays; the iterator forms clippy suggests are less
@@ -22,5 +24,6 @@
 pub mod cli;
 pub mod data;
 pub mod format;
+pub mod metrics;
 pub mod suite;
 pub mod supervisor;

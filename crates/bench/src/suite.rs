@@ -20,7 +20,9 @@ use tenbench_core::par::Schedule;
 use tenbench_gen::TensorStats;
 use tenbench_gpusim::device::DeviceSpec;
 use tenbench_gpusim::kernels as gpuk;
+use tenbench_obs as obs;
 use tenbench_roofline::bounds;
+use tenbench_roofline::model::{Ceiling, Roofline};
 
 use crate::supervisor::{
     mttkrp_reference_digest, supervise, validate_matrix, RunStatus, SupervisorConfig, Trial,
@@ -53,6 +55,18 @@ impl MachineModel {
             peak_gflops: dev.peak_sp_gflops,
         }
     }
+
+    /// The single-ceiling Roofline used to annotate measured cells.
+    pub fn roofline(&self) -> Roofline {
+        Roofline {
+            name: self.name.clone(),
+            peak_gflops: self.peak_gflops,
+            ceilings: vec![Ceiling {
+                name: "ERT-DRAM".into(),
+                gbs: self.ert_dram_gbs,
+            }],
+        }
+    }
 }
 
 /// One kernel x format measurement on one tensor.
@@ -70,6 +84,14 @@ pub struct KernelResult {
     pub oi: f64,
     /// Roofline performance bound in GFLOPS.
     pub bound_gflops: f64,
+    /// Arithmetic intensity from the instrumented FLOP/byte counters
+    /// charged by the kernel itself (per-call delta over the timed cell).
+    pub ai_measured: f64,
+    /// Which roof binds at the measured AI: `"memory"` or `"compute"`.
+    pub bound_by: &'static str,
+    /// Achieved GFLOPS as a percentage of the binding roof at the
+    /// measured AI.
+    pub pct_of_roof: f64,
 }
 
 impl KernelResult {
@@ -105,6 +127,61 @@ pub fn time_avg<F: FnMut()>(reps: usize, mut f: F) -> f64 {
         total += t.elapsed().as_secs_f64() / batch as f64;
     }
     total / reps.max(1) as f64
+}
+
+/// One timed cell with its instrumented-counter deltas: the average call
+/// time plus the FLOPs, cost-model bytes, and kernel entries charged while
+/// the cell ran. Per-call figures divide by `calls`, which includes the
+/// calibration warmup [`time_avg`] performs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CellMeasure {
+    /// Average seconds per call (see [`time_avg`]).
+    pub secs: f64,
+    /// `kernel.flops` counter delta across the whole cell.
+    pub flops: u64,
+    /// `kernel.bytes` counter delta across the whole cell.
+    pub bytes: u64,
+    /// `kernel.calls` counter delta across the whole cell.
+    pub calls: u64,
+}
+
+impl CellMeasure {
+    /// Fold another cell into this one (counters add; times add — divide
+    /// `secs` yourself when averaging over modes).
+    pub fn accumulate(&mut self, other: &CellMeasure) {
+        self.secs += other.secs;
+        self.flops += other.flops;
+        self.bytes += other.bytes;
+        self.calls += other.calls;
+    }
+
+    /// Place this measurement against a roofline using the per-call
+    /// counter deltas (the achieved-GFLOPS / AI / %-of-roof annotation).
+    pub fn annotate(&self, roof: &Roofline) -> tenbench_roofline::model::Achieved {
+        let calls = self.calls.max(1);
+        roof.annotate(self.flops / calls, self.bytes / calls, self.secs)
+    }
+}
+
+/// [`time_avg`] with counter accounting: enables the obs counters for the
+/// duration and reports the `kernel.flops` / `kernel.bytes` /
+/// `kernel.calls` deltas alongside the average call time. The kernels
+/// charge their Table 1 costs on entry, so the deltas are the *measured*
+/// work of exactly the calls this cell made (plus any concurrent charges —
+/// the counters are process-wide).
+pub fn measure_cell<F: FnMut()>(reps: usize, f: F) -> CellMeasure {
+    use obs::counters as ctr;
+    let _scope = ctr::counters_scope();
+    let f0 = ctr::FLOPS.get();
+    let b0 = ctr::BYTES.get();
+    let c0 = ctr::KERNEL_CALLS.get();
+    let secs = time_avg(reps, f);
+    CellMeasure {
+        secs,
+        flops: ctr::FLOPS.get().wrapping_sub(f0),
+        bytes: ctr::BYTES.get().wrapping_sub(b0),
+        calls: ctr::KERNEL_CALLS.get().wrapping_sub(c0),
+    }
 }
 
 /// Build the per-mode factor matrices used by Ttm and Mttkrp.
@@ -145,78 +222,78 @@ pub fn run_cpu_suite(
     let factors = make_factors(x, r);
     let frefs: Vec<&DenseMatrix<f32>> = factors.iter().collect();
 
+    let roof = machine.roofline();
     let mut out = Vec::new();
     let push = |out: &mut Vec<KernelResult>,
                 kernel: Kernel,
                 format: &'static str,
-                time_s: f64,
-                flops: u64,
+                cell: CellMeasure,
                 bound: bounds::KernelBound| {
+        let a = cell.annotate(&roof);
         out.push(KernelResult {
             kernel,
             format,
-            time_s,
-            gflops: flops as f64 / time_s / 1e9,
+            time_s: cell.secs,
+            gflops: a.gflops,
             oi: bound.oi,
             bound_gflops: bound.gflops,
+            ai_measured: a.oi,
+            bound_by: a.bound_by,
+            pct_of_roof: a.pct_of_roof,
         });
     };
 
     // Tew / Ts: nonzero-parallel value loops.
-    let t = time_avg(reps, || {
+    let cell = measure_cell(reps, || {
         std::hint::black_box(tew::tew_same_pattern(x, &y, EwOp::Add).unwrap());
     });
     push(
         &mut out,
         Kernel::Tew,
         "COO",
-        t,
-        Kernel::Tew.flops(order, m, 0),
+        cell,
         bounds::tew_bound(m, bw, peak),
     );
-    let t = time_avg(reps, || {
+    let cell = measure_cell(reps, || {
         std::hint::black_box(tew::tew_hicoo_same_pattern(&hx, &hy, EwOp::Add).unwrap());
     });
     push(
         &mut out,
         Kernel::Tew,
         "HiCOO",
-        t,
-        Kernel::Tew.flops(order, m, 0),
+        cell,
         bounds::tew_bound(m, bw, peak),
     );
 
-    let t = time_avg(reps, || {
+    let cell = measure_cell(reps, || {
         std::hint::black_box(ts::ts(x, 1.000_1, EwOp::Mul).unwrap());
     });
     push(
         &mut out,
         Kernel::Ts,
         "COO",
-        t,
-        Kernel::Ts.flops(order, m, 0),
+        cell,
         bounds::ts_bound(m, bw, peak),
     );
-    let t = time_avg(reps, || {
+    let cell = measure_cell(reps, || {
         std::hint::black_box(ts::ts_hicoo(&hx, 1.000_1, EwOp::Mul).unwrap());
     });
     push(
         &mut out,
         Kernel::Ts,
         "HiCOO",
-        t,
-        Kernel::Ts.flops(order, m, 0),
+        cell,
         bounds::ts_bound(m, bw, peak),
     );
 
     // Ttv / Ttm / Mttkrp: averaged over modes; pre-processing untimed.
     let mean_mf = stats.mean_fibers() as u64;
-    let mut ttv_coo = 0.0;
-    let mut ttv_hic = 0.0;
-    let mut ttm_coo = 0.0;
-    let mut ttm_hic = 0.0;
-    let mut mtt_coo = 0.0;
-    let mut mtt_hic = 0.0;
+    let mut ttv_coo = CellMeasure::default();
+    let mut ttv_hic = CellMeasure::default();
+    let mut ttm_coo = CellMeasure::default();
+    let mut ttm_hic = CellMeasure::default();
+    let mut mtt_coo = CellMeasure::default();
+    let mut mtt_hic = CellMeasure::default();
     for mode in 0..order {
         let mut xm = x.clone();
         let fp = xm.fibers(mode).expect("mode in range");
@@ -225,72 +302,78 @@ pub fn run_cpu_suite(
         let v = DenseVector::from_fn(x.shape().dim(mode) as usize, |i| (i % 100) as f32 * 0.01);
         let u = &factors[mode];
 
-        ttv_coo += time_avg(reps, || {
+        ttv_coo.accumulate(&measure_cell(reps, || {
             std::hint::black_box(ttv::ttv_prepared(&xm, &fp, &v, Schedule::default()).unwrap());
-        });
-        ttv_hic += time_avg(reps, || {
+        }));
+        ttv_hic.accumulate(&measure_cell(reps, || {
             std::hint::black_box(ttv::ttv_ghicoo(&g, &gfp, &v, Schedule::default()).unwrap());
-        });
-        ttm_coo += time_avg(reps, || {
+        }));
+        ttm_coo.accumulate(&measure_cell(reps, || {
             std::hint::black_box(ttm::ttm_prepared(&xm, &fp, u, Schedule::default()).unwrap());
-        });
-        ttm_hic += time_avg(reps, || {
+        }));
+        ttm_hic.accumulate(&measure_cell(reps, || {
             std::hint::black_box(ttm::ttm_ghicoo(&g, &gfp, u, Schedule::default()).unwrap());
-        });
-        mtt_coo += time_avg(reps, || {
+        }));
+        mtt_coo.accumulate(&measure_cell(reps, || {
             std::hint::black_box(mttkrp::mttkrp_atomic(x, &frefs, mode).unwrap());
-        });
-        mtt_hic += time_avg(reps, || {
+        }));
+        mtt_hic.accumulate(&measure_cell(reps, || {
             std::hint::black_box(mttkrp::mttkrp_hicoo(&hx, &frefs, mode).unwrap());
-        });
+        }));
     }
+    // Mode-averaged rows: average the per-call time; the counter deltas
+    // and call counts sum, so per-call figures stay mode-averaged too.
     let n = order as f64;
+    for c in [
+        &mut ttv_coo,
+        &mut ttv_hic,
+        &mut ttm_coo,
+        &mut ttm_hic,
+        &mut mtt_coo,
+        &mut mtt_hic,
+    ] {
+        c.secs /= n;
+    }
     push(
         &mut out,
         Kernel::Ttv,
         "COO",
-        ttv_coo / n,
-        Kernel::Ttv.flops(order, m, 0),
+        ttv_coo,
         bounds::ttv_bound(order, m, mean_mf, bw, peak),
     );
     push(
         &mut out,
         Kernel::Ttv,
         "HiCOO",
-        ttv_hic / n,
-        Kernel::Ttv.flops(order, m, 0),
+        ttv_hic,
         bounds::ttv_bound(order, m, mean_mf, bw, peak),
     );
     push(
         &mut out,
         Kernel::Ttm,
         "COO",
-        ttm_coo / n,
-        Kernel::Ttm.flops(order, m, r as u64),
+        ttm_coo,
         bounds::ttm_bound(order, m, mean_mf, r as u64, bw, peak),
     );
     push(
         &mut out,
         Kernel::Ttm,
         "HiCOO",
-        ttm_hic / n,
-        Kernel::Ttm.flops(order, m, r as u64),
+        ttm_hic,
         bounds::ttm_bound(order, m, mean_mf, r as u64, bw, peak),
     );
     push(
         &mut out,
         Kernel::Mttkrp,
         "COO",
-        mtt_coo / n,
-        Kernel::Mttkrp.flops(order, m, r as u64),
+        mtt_coo,
         bounds::mttkrp_coo_bound(order, m, r as u64, bw, peak),
     );
     push(
         &mut out,
         Kernel::Mttkrp,
         "HiCOO",
-        mtt_hic / n,
-        Kernel::Mttkrp.flops(order, m, r as u64),
+        mtt_hic,
         bounds::mttkrp_hicoo_bound(
             order,
             m,
@@ -493,36 +576,45 @@ pub fn run_gpu_suite(
     let factors = make_factors(x, r);
     let frefs: Vec<&DenseMatrix<f32>> = factors.iter().collect();
 
-    let mut out = Vec::new();
-    let mut push = |kernel: Kernel,
-                    format: &'static str,
-                    time_s: f64,
-                    flops: u64,
-                    bound: bounds::KernelBound| {
-        out.push(KernelResult {
-            kernel,
-            format,
-            time_s,
-            gflops: flops as f64 / time_s / 1e9,
-            oi: bound.oi,
-            bound_gflops: bound.gflops,
-        });
+    // Simulated launches report modeled FLOPs and DRAM bytes directly, so
+    // the annotation uses the simulator's own accounting in place of the
+    // CPU counters.
+    let roof = machine.roofline();
+    let cell_of = |s: &tenbench_gpusim::report::GpuKernelStats| CellMeasure {
+        secs: s.time_s,
+        flops: s.flops,
+        bytes: s.dram_bytes,
+        calls: 1,
     };
+    let mut out = Vec::new();
+    let mut push =
+        |kernel: Kernel, format: &'static str, cell: CellMeasure, bound: bounds::KernelBound| {
+            let a = cell.annotate(&roof);
+            out.push(KernelResult {
+                kernel,
+                format,
+                time_s: cell.secs,
+                gflops: a.gflops,
+                oi: bound.oi,
+                bound_gflops: bound.gflops,
+                ai_measured: a.oi,
+                bound_by: a.bound_by,
+                pct_of_roof: a.pct_of_roof,
+            });
+        };
 
     let (_, s) = gpuk::tew_coo_gpu(dev, x, &y, EwOp::Add).unwrap();
     push(
         Kernel::Tew,
         "COO",
-        s.time_s,
-        s.flops,
+        cell_of(&s),
         bounds::tew_bound(m, bw, peak),
     );
     let (_, s) = gpuk::tew_hicoo_gpu(dev, &hx, &hy, EwOp::Add).unwrap();
     push(
         Kernel::Tew,
         "HiCOO",
-        s.time_s,
-        s.flops,
+        cell_of(&s),
         bounds::tew_bound(m, bw, peak),
     );
 
@@ -530,80 +622,75 @@ pub fn run_gpu_suite(
     push(
         Kernel::Ts,
         "COO",
-        s.time_s,
-        s.flops,
+        cell_of(&s),
         bounds::ts_bound(m, bw, peak),
     );
     let (_, s) = gpuk::ts_hicoo_gpu(dev, &hx, 1.000_1, EwOp::Mul).unwrap();
     push(
         Kernel::Ts,
         "HiCOO",
-        s.time_s,
-        s.flops,
+        cell_of(&s),
         bounds::ts_bound(m, bw, peak),
     );
 
     let mean_mf = stats.mean_fibers() as u64;
-    let mut ttv_t = [0.0f64; 2];
-    let mut ttm_t = [0.0f64; 2];
-    let mut mtt_t = [0.0f64; 2];
+    let mut ttv_c = [CellMeasure::default(); 2];
+    let mut ttm_c = [CellMeasure::default(); 2];
+    let mut mtt_c = [CellMeasure::default(); 2];
     for mode in 0..order {
         let v = DenseVector::from_fn(x.shape().dim(mode) as usize, |i| (i % 100) as f32 * 0.01);
         let u = &factors[mode];
         let (_, s) = gpuk::ttv_coo_gpu(dev, x, &v, mode).unwrap();
-        ttv_t[0] += s.time_s;
+        ttv_c[0].accumulate(&cell_of(&s));
         let (_, s) = gpuk::ttv_hicoo_gpu(dev, &hx, &v, mode).unwrap();
-        ttv_t[1] += s.time_s;
+        ttv_c[1].accumulate(&cell_of(&s));
         let (_, s) = gpuk::ttm_coo_gpu(dev, x, u, mode).unwrap();
-        ttm_t[0] += s.time_s;
+        ttm_c[0].accumulate(&cell_of(&s));
         let (_, s) = gpuk::ttm_hicoo_gpu(dev, &hx, u, mode).unwrap();
-        ttm_t[1] += s.time_s;
+        ttm_c[1].accumulate(&cell_of(&s));
         let (_, s) = gpuk::mttkrp_coo_gpu(dev, x, &frefs, mode).unwrap();
-        mtt_t[0] += s.time_s;
+        mtt_c[0].accumulate(&cell_of(&s));
         let (_, s) = gpuk::mttkrp_hicoo_gpu(dev, &hx, &frefs, mode).unwrap();
-        mtt_t[1] += s.time_s;
+        mtt_c[1].accumulate(&cell_of(&s));
     }
     let n = order as f64;
+    for c in ttv_c.iter_mut().chain(&mut ttm_c).chain(&mut mtt_c) {
+        c.secs /= n;
+    }
     push(
         Kernel::Ttv,
         "COO",
-        ttv_t[0] / n,
-        Kernel::Ttv.flops(order, m, 0),
+        ttv_c[0],
         bounds::ttv_bound(order, m, mean_mf, bw, peak),
     );
     push(
         Kernel::Ttv,
         "HiCOO",
-        ttv_t[1] / n,
-        Kernel::Ttv.flops(order, m, 0),
+        ttv_c[1],
         bounds::ttv_bound(order, m, mean_mf, bw, peak),
     );
     push(
         Kernel::Ttm,
         "COO",
-        ttm_t[0] / n,
-        Kernel::Ttm.flops(order, m, r as u64),
+        ttm_c[0],
         bounds::ttm_bound(order, m, mean_mf, r as u64, bw, peak),
     );
     push(
         Kernel::Ttm,
         "HiCOO",
-        ttm_t[1] / n,
-        Kernel::Ttm.flops(order, m, r as u64),
+        ttm_c[1],
         bounds::ttm_bound(order, m, mean_mf, r as u64, bw, peak),
     );
     push(
         Kernel::Mttkrp,
         "COO",
-        mtt_t[0] / n,
-        Kernel::Mttkrp.flops(order, m, r as u64),
+        mtt_c[0],
         bounds::mttkrp_coo_bound(order, m, r as u64, bw, peak),
     );
     push(
         Kernel::Mttkrp,
         "HiCOO",
-        mtt_t[1] / n,
-        Kernel::Mttkrp.flops(order, m, r as u64),
+        mtt_c[1],
         bounds::mttkrp_hicoo_bound(
             order,
             m,
@@ -645,6 +732,16 @@ mod tests {
             assert!(r.gflops > 0.0);
             assert!(r.bound_gflops > 0.0);
             assert!(r.oi > 0.0);
+            // The roofline annotation comes from the instrumented
+            // counters: every row must carry a measured AI, a binding
+            // roof, and a % of roof.
+            assert!(r.ai_measured > 0.0, "{:?}/{}", r.kernel, r.format);
+            assert!(r.pct_of_roof > 0.0, "{:?}/{}", r.kernel, r.format);
+            assert!(
+                r.bound_by == "memory" || r.bound_by == "compute",
+                "{:?}",
+                r.bound_by
+            );
         }
         let kernels: Vec<&str> = res.iter().map(|r| r.kernel.name()).collect();
         assert_eq!(kernels.iter().filter(|&&k| k == "Mttkrp").count(), 2);
@@ -659,6 +756,8 @@ mod tests {
         for r in &res {
             assert!(r.time_s > 0.0);
             assert!(r.gflops > 0.0);
+            assert!(r.ai_measured > 0.0);
+            assert!(r.pct_of_roof > 0.0);
         }
     }
 

@@ -40,6 +40,7 @@ use tenbench_core::coo::CooTensor;
 use tenbench_core::dense::DenseMatrix;
 use tenbench_core::hicoo::HicooTensor;
 use tenbench_core::kernels::mttkrp::{self, MttkrpStrategy};
+use tenbench_obs as obs;
 
 /// Tuning knobs for supervised execution.
 #[derive(Debug, Clone)]
@@ -210,8 +211,12 @@ pub struct RunReport {
     pub attempts: Vec<Attempt>,
     /// Strategy that produced the accepted result, if any.
     pub strategy: Option<String>,
-    /// Wall-clock seconds of the accepted attempt, if any.
+    /// Wall-clock seconds of the accepted attempt, if any. This is the
+    /// guarded closure's time only — validation is timed separately in
+    /// [`RunReport::validate_s`] so it never pollutes the kernel number.
     pub time_s: Option<f64>,
+    /// Seconds the supervisor spent validating the accepted output.
+    pub validate_s: Option<f64>,
     /// Checksum digest of the accepted output, if the validator computed
     /// one (sum of sampled row sums for matrices).
     pub checksum: Option<f64>,
@@ -227,6 +232,7 @@ impl RunReport {
             attempts: Vec::new(),
             strategy: None,
             time_s: None,
+            validate_s: None,
             checksum: None,
         }
     }
@@ -249,6 +255,9 @@ impl RunReport {
         }
         if let Some(t) = self.time_s {
             s.push_str(&format!(", \"time_s\": {t:.6e}"));
+        }
+        if let Some(t) = self.validate_s {
+            s.push_str(&format!(", \"validate_s\": {t:.6e}"));
         }
         if let Some(c) = self.checksum {
             s.push_str(&format!(", \"checksum\": {c:.6e}"));
@@ -293,6 +302,9 @@ impl RunReport {
 pub struct SweepReport {
     /// Per-cell reports in sweep order.
     pub reports: Vec<RunReport>,
+    /// Observability capture for the sweep (counter totals, span
+    /// aggregates, pool telemetry), when the sweep ran traced.
+    pub metrics: Option<obs::report::MetricsReport>,
 }
 
 impl SweepReport {
@@ -342,7 +354,12 @@ impl SweepReport {
             }
             s.push('\n');
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("  ]");
+        if let Some(metrics) = &self.metrics {
+            s.push_str(",\n  \"metrics\": ");
+            s.push_str(&metrics.to_json());
+        }
+        s.push_str("\n}\n");
         s
     }
 }
@@ -457,9 +474,28 @@ pub fn supervise<T: Send + 'static>(
             break;
         }
         for _retry in 0..=cfg.max_retries {
-            let outcome = match run_guarded(trial.run.clone(), cfg.max_seconds) {
-                Guarded::Done(Ok(value), dt) => match validate(&value) {
-                    Ok(checksum) => {
+            // Every attempt after the first — retry or fallback — counts
+            // as a supervisor recovery action.
+            if !attempts.is_empty() {
+                obs::counters::SUPERVISOR_RETRIES.add(1);
+            }
+            let guarded = {
+                let _span = obs::span!("supervisor.attempt");
+                run_guarded(trial.run.clone(), cfg.max_seconds)
+            };
+            // Validation is timed on its own: the attempt's `time_s` is
+            // the guarded closure alone, so checksum digests never leak
+            // into the reported kernel time.
+            let timed_validate = |value: &T| {
+                let _span = obs::span!("supervisor.validate");
+                obs::counters::VALIDATIONS.add(1);
+                let t0 = Instant::now();
+                let r = validate(value);
+                (r, t0.elapsed().as_secs_f64())
+            };
+            let outcome = match guarded {
+                Guarded::Done(Ok(value), dt) => match timed_validate(&value) {
+                    (Ok(checksum), validate_s) => {
                         let first_try = attempts.is_empty();
                         let from = attempts
                             .first()
@@ -479,11 +515,12 @@ pub fn supervise<T: Send + 'static>(
                             attempts,
                             strategy: Some(trial.strategy.clone()),
                             time_s: Some(dt),
+                            validate_s: Some(validate_s),
                             checksum,
                         };
                         return (report, Some(value));
                     }
-                    Err(reason) => AttemptOutcome::InvalidOutput { reason },
+                    (Err(reason), _) => AttemptOutcome::InvalidOutput { reason },
                 },
                 Guarded::Done(Err(message), _) => AttemptOutcome::Error { message },
                 Guarded::Panicked(message) => AttemptOutcome::Panicked { message },
@@ -522,6 +559,7 @@ pub fn supervise<T: Send + 'static>(
             attempts,
             strategy: None,
             time_s: None,
+            validate_s: None,
             checksum: None,
         },
         None,
@@ -774,6 +812,8 @@ mod tests {
         assert_eq!(r.strategy.as_deref(), Some("a"));
         assert_eq!(r.attempts.len(), 1);
         assert!(r.time_s.is_some());
+        // Validation is timed separately from the attempt itself.
+        assert!(r.validate_s.is_some());
     }
 
     #[test]
@@ -924,6 +964,7 @@ mod tests {
         assert!(j.contains("\"cell\": \"cell-1\""), "{j}");
         assert!(j.contains("\"status\": \"recovered\""), "{j}");
         assert!(j.contains("\"recovered_from\": \"bad\""), "{j}");
+        assert!(j.contains("\"validate_s\""), "{j}");
         assert!(j.contains("\\\"quotes\\\""), "{j}");
 
         let mut sweep = SweepReport::default();
@@ -932,9 +973,15 @@ mod tests {
         assert_eq!(sweep.count("recovered"), 1);
         assert_eq!(sweep.count("failed"), 1);
         assert!(!sweep.all_ok());
+        sweep.metrics = Some(obs::report::MetricsReport {
+            counters: vec![("kernel.flops".into(), 42)],
+            ..Default::default()
+        });
         let j = sweep.to_json();
         assert!(j.contains("\"summary\""), "{j}");
         assert!(j.contains("\"error\": \"corrupt input\""), "{j}");
+        assert!(j.contains("\"metrics\""), "{j}");
+        obs::json::Value::parse(&j).expect("sweep JSON with metrics parses");
     }
 
     fn small_tensor() -> CooTensor<f32> {

@@ -1,0 +1,69 @@
+//! The tracing-overhead acceptance gate: a fully traced suite run must
+//! cost < 5% wall time over an untraced run.
+//!
+//! This is the only test in its binary on purpose: cargo runs test
+//! binaries sequentially, so nothing else competes for cores or toggles
+//! the global capture state while the timing comparison runs. Untraced
+//! and traced runs are interleaved and the best of three is kept on both
+//! sides, which cancels one-off scheduling noise in either direction.
+
+use std::time::Instant;
+
+use tenbench_bench::metrics::Capture;
+use tenbench_bench::suite::{run_cpu_suite, MachineModel};
+use tenbench_core::coo::CooTensor;
+use tenbench_core::shape::Shape;
+
+fn make_tensor(n: u32) -> CooTensor<f32> {
+    CooTensor::from_entries(
+        Shape::new(vec![64, 64, 64]),
+        (0..n)
+            .map(|i| {
+                let j = i.wrapping_mul(2654435761);
+                (
+                    vec![j % 64, (j / 64) % 64, (j / 4096) % 64],
+                    (i % 113) as f32 * 0.25 + 1.0,
+                )
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn full_trace_costs_under_five_percent() {
+    let x = make_tensor(30_000);
+    let machine = MachineModel {
+        name: "overhead".into(),
+        ert_dram_gbs: 50.0,
+        peak_gflops: 500.0,
+    };
+    let workload = || {
+        std::hint::black_box(run_cpu_suite(&x, &machine, 8, 5, 2));
+    };
+    // Warm caches and the lazy pool once before timing anything.
+    workload();
+
+    let mut untraced = f64::INFINITY;
+    let mut traced = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        workload();
+        untraced = untraced.min(t0.elapsed().as_secs_f64());
+
+        let cap = Capture::begin();
+        let t0 = Instant::now();
+        workload();
+        traced = traced.min(t0.elapsed().as_secs_f64());
+        let (trace, _) = cap.finish();
+        assert_eq!(trace.dropped_events, 0, "capture must not drop events");
+    }
+
+    let ratio = traced / untraced;
+    assert!(
+        ratio < 1.05,
+        "traced suite run is {:.2}% slower than untraced (budget: 5%): \
+         untraced {untraced:.4}s, traced {traced:.4}s",
+        (ratio - 1.0) * 100.0
+    );
+}

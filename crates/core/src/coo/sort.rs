@@ -93,6 +93,7 @@ pub(super) fn sort_lexicographic<S: Scalar>(
     if t.sort.is_lexicographic(mode_order) {
         return;
     }
+    let _span = tenbench_obs::span!("coo.sort_lex");
     let m = t.nnz();
     let mut perm: Vec<u32> = (0..m as u32).collect();
     if algo.use_radix() {
@@ -157,6 +158,7 @@ pub(super) fn sort_morton<S: Scalar>(t: &mut CooTensor<S>, block_bits: u8, algo:
     if t.sort.is_morton(block_bits) {
         return;
     }
+    let _span = tenbench_obs::span!("coo.sort_morton");
     let m = t.nnz();
     let order = t.order();
     let mut perm: Vec<u32> = (0..m as u32).collect();

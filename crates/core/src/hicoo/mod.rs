@@ -81,7 +81,12 @@ impl<S: Scalar> HicooTensor<S> {
     /// Convert from COO, Morton-sorting the input in place.
     pub fn from_coo_inplace(coo: &mut CooTensor<S>, block_bits: u8) -> Result<Self> {
         check_block_bits(block_bits)?;
-        coo.sort_morton(block_bits);
+        let _span = tenbench_obs::span!("convert.hicoo");
+        {
+            let _sort = tenbench_obs::span!("convert.sort");
+            coo.sort_morton(block_bits);
+        }
+        let _build = tenbench_obs::span!("convert.build");
         let m = coo.nnz();
         let emask = (1u32 << block_bits) - 1;
         let inds = coo.inds();
@@ -139,6 +144,7 @@ impl<S: Scalar> HicooTensor<S> {
             })
             .collect();
         let vals: Vec<S> = coo.vals().to_vec();
+        tenbench_obs::counters::CONVERT_BLOCKS.add(nb as u64);
 
         Ok(HicooTensor {
             shape: coo.shape().clone(),

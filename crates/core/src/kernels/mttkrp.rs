@@ -24,6 +24,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rayon::prelude::*;
 
+use tenbench_obs as obs;
+
+use crate::analysis;
 use crate::atomic::AtomicScalar;
 use crate::coo::CooTensor;
 use crate::dense::DenseMatrix;
@@ -33,6 +36,33 @@ use crate::par::ScratchArena;
 use crate::scalar::Scalar;
 use crate::sched::{ModeSchedule, RowSchedule};
 use crate::shape::Shape;
+
+/// Charge one COO Mttkrp invocation to the obs counters using the paper's
+/// Table 1 cost model (`analysis::mttkrp_coo_cost`).
+fn charge_coo<S: Scalar>(x: &CooTensor<S>, r: usize) {
+    if obs::counters::counters_enabled() {
+        let c = analysis::mttkrp_coo_cost(x.order(), x.nnz() as u64, r as u64);
+        obs::counters::FLOPS.add(c.flops);
+        obs::counters::BYTES.add(c.bytes);
+        obs::counters::KERNEL_CALLS.add(1);
+    }
+}
+
+/// Charge one HiCOO Mttkrp invocation (`analysis::mttkrp_hicoo_cost`).
+fn charge_hicoo<S: Scalar>(h: &HicooTensor<S>, r: usize) {
+    if obs::counters::counters_enabled() {
+        let c = analysis::mttkrp_hicoo_cost(
+            h.order(),
+            h.nnz() as u64,
+            r as u64,
+            h.num_blocks() as u64,
+            1u64 << h.block_bits(),
+        );
+        obs::counters::FLOPS.add(c.flops);
+        obs::counters::BYTES.add(c.bytes);
+        obs::counters::KERNEL_CALLS.add(1);
+    }
+}
 
 /// Parallelization strategy for COO Mttkrp.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,6 +189,8 @@ pub fn mttkrp_seq<S: Scalar>(
     mode: usize,
 ) -> Result<DenseMatrix<S>> {
     let r = check_factors(x.shape(), factors, mode)?;
+    let _span = obs::span!("mttkrp.seq");
+    charge_coo(x, r);
     let mut out = DenseMatrix::zeros(x.shape().dim(mode) as usize, r);
     let mut scratch = vec![S::ZERO; r];
     let rows = x.mode_inds(mode);
@@ -180,6 +212,8 @@ pub fn mttkrp_atomic<S: Scalar>(
     mode: usize,
 ) -> Result<DenseMatrix<S>> {
     let r = check_factors(x.shape(), factors, mode)?;
+    let _span = obs::span!("mttkrp.atomic");
+    charge_coo(x, r);
     let mut out = DenseMatrix::zeros(x.shape().dim(mode) as usize, r);
     {
         let cells = S::as_atomic_slice(out.data_mut());
@@ -216,6 +250,8 @@ pub fn mttkrp_privatized<S: Scalar>(
     mode: usize,
 ) -> Result<DenseMatrix<S>> {
     let r = check_factors(x.shape(), factors, mode)?;
+    let _span = obs::span!("mttkrp.privatized");
+    charge_coo(x, r);
     let rows_n = x.shape().dim(mode) as usize;
     let rows = x.mode_inds(mode);
     let m = x.nnz();
@@ -269,6 +305,8 @@ pub fn mttkrp_row_locked<S: Scalar>(
     mode: usize,
 ) -> Result<DenseMatrix<S>> {
     let r = check_factors(x.shape(), factors, mode)?;
+    let _span = obs::span!("mttkrp.row_locked");
+    charge_coo(x, r);
     let rows_n = x.shape().dim(mode) as usize;
     let locked: Vec<parking_lot::Mutex<Vec<S>>> = (0..rows_n)
         .map(|_| parking_lot::Mutex::new(vec![S::ZERO; r]))
@@ -327,6 +365,8 @@ pub fn mttkrp_sched_with<S: Scalar>(
             sched.mode()
         )));
     }
+    let _span = obs::span!("mttkrp.scheduled");
+    charge_coo(x, r);
     let rows_n = x.shape().dim(mode) as usize;
     let mut out = DenseMatrix::zeros(rows_n, r);
     let mut tasks = split_row_ranges(
@@ -406,6 +446,8 @@ pub fn mttkrp_hicoo<S: Scalar>(
     mode: usize,
 ) -> Result<DenseMatrix<S>> {
     let r = check_factors(h.shape(), factors, mode)?;
+    let _span = obs::span!("mttkrp.hicoo");
+    charge_hicoo(h, r);
     let mut out = DenseMatrix::zeros(h.shape().dim(mode) as usize, r);
     let bits = h.block_bits();
     {
@@ -473,6 +515,8 @@ pub fn mttkrp_hicoo_sched_with<S: Scalar>(
             sched.mode()
         )));
     }
+    let _span = obs::span!("mttkrp.hicoo.scheduled");
+    charge_hicoo(h, r);
     let rows_n = h.shape().dim(mode) as usize;
     let mut out = DenseMatrix::zeros(rows_n, r);
     let bits = h.block_bits();
@@ -524,6 +568,8 @@ pub fn mttkrp_hicoo_seq<S: Scalar>(
     mode: usize,
 ) -> Result<DenseMatrix<S>> {
     let r = check_factors(h.shape(), factors, mode)?;
+    let _span = obs::span!("mttkrp.hicoo.seq");
+    charge_hicoo(h, r);
     let mut out = DenseMatrix::zeros(h.shape().dim(mode) as usize, r);
     let bits = h.block_bits();
     let order = h.order();

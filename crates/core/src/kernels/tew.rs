@@ -16,6 +16,9 @@ use std::cmp::Ordering;
 
 use rayon::prelude::*;
 
+use tenbench_obs as obs;
+
+use crate::analysis;
 use crate::coo::{CooTensor, SortState};
 use crate::error::{Result, TensorError};
 use crate::hicoo::HicooTensor;
@@ -61,6 +64,17 @@ fn check_same_shape<S: Scalar>(x: &CooTensor<S>, y: &CooTensor<S>) -> Result<()>
     Ok(())
 }
 
+/// Charge one Tew invocation over `m` value pairs (`analysis::tew_cost`,
+/// the same-pattern case Table 1 analyzes).
+fn charge(m: usize) {
+    if obs::counters::counters_enabled() {
+        let c = analysis::tew_cost(m as u64);
+        obs::counters::FLOPS.add(c.flops);
+        obs::counters::BYTES.add(c.bytes);
+        obs::counters::KERNEL_CALLS.add(1);
+    }
+}
+
 /// Same-pattern Tew, parallel over nonzeros (COO-Tew-OMP). The output shares
 /// the inputs' index arrays and sort state; only values are computed.
 pub fn tew_same_pattern<S: Scalar>(
@@ -72,6 +86,8 @@ pub fn tew_same_pattern<S: Scalar>(
     if !x.same_pattern(y) {
         return Err(TensorError::PatternMismatch);
     }
+    let _span = obs::span!("tew.coo");
+    charge(x.nnz());
     let vals: Vec<S> = x
         .vals()
         .par_iter()
@@ -97,6 +113,8 @@ pub fn tew_same_pattern_seq<S: Scalar>(
     if !x.same_pattern(y) {
         return Err(TensorError::PatternMismatch);
     }
+    let _span = obs::span!("tew.seq");
+    charge(x.nnz());
     let vals: Vec<S> = x
         .vals()
         .iter()
@@ -251,6 +269,7 @@ pub fn tew_general<S: Scalar>(
             "general Tew requires both operands lexicographically sorted".into(),
         ));
     }
+    let _span = obs::span!("tew.general");
     let segments = (rayon::current_num_threads() * 4).max(1);
     let mx = x.nnz();
     if mx == 0 || segments == 1 {
@@ -350,6 +369,8 @@ pub fn tew_hicoo_same_pattern<S: Scalar>(
     if !x.same_pattern(y) {
         return Err(TensorError::PatternMismatch);
     }
+    let _span = obs::span!("tew.hicoo");
+    charge(x.nnz());
     let mut out = x.clone();
     out.vals_mut()
         .par_iter_mut()

@@ -8,6 +8,9 @@
 
 use rayon::prelude::*;
 
+use tenbench_obs as obs;
+
+use crate::analysis;
 use crate::coo::CooTensor;
 use crate::error::{Result, TensorError};
 use crate::hicoo::HicooTensor;
@@ -23,9 +26,21 @@ fn check_scalar<S: Scalar>(op: EwOp, s: S) -> Result<()> {
     }
 }
 
+/// Charge one Ts invocation over `m` nonzeros (`analysis::ts_cost`).
+fn charge(m: usize) {
+    if obs::counters::counters_enabled() {
+        let c = analysis::ts_cost(m as u64);
+        obs::counters::FLOPS.add(c.flops);
+        obs::counters::BYTES.add(c.bytes);
+        obs::counters::KERNEL_CALLS.add(1);
+    }
+}
+
 /// Tensor–scalar operation, parallel over nonzeros (COO-Ts-OMP).
 pub fn ts<S: Scalar>(x: &CooTensor<S>, s: S, op: EwOp) -> Result<CooTensor<S>> {
     check_scalar(op, s)?;
+    let _span = obs::span!("ts.coo");
+    charge(x.nnz());
     let vals: Vec<S> = x
         .vals()
         .par_iter()
@@ -43,6 +58,8 @@ pub fn ts<S: Scalar>(x: &CooTensor<S>, s: S, op: EwOp) -> Result<CooTensor<S>> {
 /// Sequential tensor–scalar baseline.
 pub fn ts_seq<S: Scalar>(x: &CooTensor<S>, s: S, op: EwOp) -> Result<CooTensor<S>> {
     check_scalar(op, s)?;
+    let _span = obs::span!("ts.seq");
+    charge(x.nnz());
     let vals: Vec<S> = x.vals().iter().map(|&a| op.apply(a, s)).collect();
     Ok(CooTensor::from_parts_unchecked(
         x.shape().clone(),
@@ -56,6 +73,8 @@ pub fn ts_seq<S: Scalar>(x: &CooTensor<S>, s: S, op: EwOp) -> Result<CooTensor<S
 /// HiCOO with the input's block structure.
 pub fn ts_hicoo<S: Scalar>(x: &HicooTensor<S>, s: S, op: EwOp) -> Result<HicooTensor<S>> {
     check_scalar(op, s)?;
+    let _span = obs::span!("ts.hicoo");
+    charge(x.nnz());
     let mut out = x.clone();
     out.vals_mut()
         .par_iter_mut()
@@ -68,6 +87,8 @@ pub fn ts_hicoo<S: Scalar>(x: &HicooTensor<S>, s: S, op: EwOp) -> Result<HicooTe
 /// use when the operand is a scratch tensor).
 pub fn ts_in_place<S: Scalar>(x: &mut CooTensor<S>, s: S, op: EwOp) -> Result<()> {
     check_scalar(op, s)?;
+    let _span = obs::span!("ts.in_place");
+    charge(x.nnz());
     x.vals_mut()
         .par_iter_mut()
         .with_min_len(1024)

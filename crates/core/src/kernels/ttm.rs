@@ -10,6 +10,9 @@
 
 use rayon::prelude::*;
 
+use tenbench_obs as obs;
+
+use crate::analysis;
 use crate::coo::{CooTensor, FiberPartition, SemiSparseTensor};
 use crate::dense::DenseMatrix;
 use crate::error::{Result, TensorError};
@@ -37,6 +40,17 @@ fn check_operand<S: Scalar>(shape: &Shape, mode: usize, u: &DenseMatrix<S>) -> R
     Ok(())
 }
 
+/// Charge one Ttm invocation over `m` nonzeros folding into `mf` output
+/// fibers of dense stripe length `r` (`analysis::ttm_cost`).
+fn charge(order: usize, m: usize, mf: usize, r: usize) {
+    if obs::counters::counters_enabled() {
+        let c = analysis::ttm_cost(order, m as u64, mf as u64, r as u64);
+        obs::counters::FLOPS.add(c.flops);
+        obs::counters::BYTES.add(c.bytes);
+        obs::counters::KERNEL_CALLS.add(1);
+    }
+}
+
 /// COO-Ttm over a mode-last-sorted tensor with a precomputed fiber
 /// partition, parallel over fibers. Output in sCOO.
 pub fn ttm_prepared<S: Scalar>(
@@ -52,8 +66,10 @@ pub fn ttm_prepared<S: Scalar>(
             "Ttm requires the tensor sorted with mode {mode} innermost"
         )));
     }
+    let _span = obs::span!("ttm.coo");
     let r = u.cols();
     let mf = fp.num_fibers();
+    charge(x.order(), x.nnz(), mf, r);
     let out_shape = x.shape().with_mode_size(mode, r as u32)?;
     let xv = x.vals();
     let xk = x.mode_inds(mode);
@@ -117,8 +133,10 @@ pub fn ttm_prepared_seq<S: Scalar>(
             "Ttm requires the tensor sorted with mode {mode} innermost"
         )));
     }
+    let _span = obs::span!("ttm.seq");
     let r = u.cols();
     let mf = fp.num_fibers();
+    charge(x.order(), x.nnz(), mf, r);
     let out_shape = x.shape().with_mode_size(mode, r as u32)?;
     let xv = x.vals();
     let xk = x.mode_inds(mode);
@@ -174,8 +192,10 @@ pub fn ttm_ghicoo<S: Scalar>(
 ) -> Result<SemiSparseHicooTensor<S>> {
     let mode = fp.mode;
     check_operand(g.shape(), mode, u)?;
+    let _span = obs::span!("ttm.ghicoo");
     let r = u.cols();
     let mf = fp.num_fibers();
+    charge(g.order(), g.nnz(), mf, r);
     let nb = g.num_blocks();
     let out_shape = g.shape().with_mode_size(mode, r as u32)?;
     let gv = g.vals();
@@ -287,6 +307,7 @@ pub fn ttm_hicoo_sched_with<S: Scalar>(
             "scheduled Ttm supports order <= {MAX_SCHED_ORDER}, got {order}"
         )));
     }
+    let _span = obs::span!("ttm.hicoo.scheduled");
     let r = u.cols();
     let out_shape = h.shape().with_mode_size(mode, r as u32)?;
     let other: Vec<usize> = (0..order).filter(|&m| m != mode).collect();
@@ -354,6 +375,8 @@ pub fn ttm_hicoo_sched_with<S: Scalar>(
         nf += keys.len() as u64;
         bptr.push(nf);
     }
+    // The fiber count is only known after folding, so charge at the end.
+    charge(order, h.nnz(), nf as usize, r);
     Ok(SemiSparseHicooTensor::from_parts_unchecked(
         out_shape, bits, mode, bptr, binds, einds, vals,
     ))

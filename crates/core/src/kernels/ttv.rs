@@ -12,6 +12,9 @@
 
 use rayon::prelude::*;
 
+use tenbench_obs as obs;
+
+use crate::analysis;
 use crate::coo::{CooTensor, FiberPartition, SortState};
 use crate::dense::DenseVector;
 use crate::error::{Result, TensorError};
@@ -43,6 +46,17 @@ fn check_operand<S: Scalar>(shape: &Shape, mode: usize, v: &DenseVector<S>) -> R
     Ok(())
 }
 
+/// Charge one Ttv invocation over `m` nonzeros folding into `mf` output
+/// fibers (`analysis::ttv_cost`).
+fn charge(order: usize, m: usize, mf: usize) {
+    if obs::counters::counters_enabled() {
+        let c = analysis::ttv_cost(order, m as u64, mf as u64);
+        obs::counters::FLOPS.add(c.flops);
+        obs::counters::BYTES.add(c.bytes);
+        obs::counters::KERNEL_CALLS.add(1);
+    }
+}
+
 /// COO-Ttv over a mode-last-sorted tensor with a precomputed fiber
 /// partition, parallel over fibers (Algorithm 1).
 pub fn ttv_prepared<S: Scalar>(
@@ -58,7 +72,9 @@ pub fn ttv_prepared<S: Scalar>(
             "Ttv requires the tensor sorted with mode {mode} innermost"
         )));
     }
+    let _span = obs::span!("ttv.coo");
     let mf = fp.num_fibers();
+    charge(x.order(), x.nnz(), mf);
     let out_shape = x.shape().without_mode(mode)?;
     let xv = x.vals();
     let xk = x.mode_inds(mode);
@@ -108,7 +124,9 @@ pub fn ttv_prepared_seq<S: Scalar>(
             "Ttv requires the tensor sorted with mode {mode} innermost"
         )));
     }
+    let _span = obs::span!("ttv.seq");
     let mf = fp.num_fibers();
+    charge(x.order(), x.nnz(), mf);
     let out_shape = x.shape().without_mode(mode)?;
     let xv = x.vals();
     let xk = x.mode_inds(mode);
@@ -182,7 +200,9 @@ pub fn ttv_ghicoo<S: Scalar>(
 ) -> Result<HicooTensor<S>> {
     let mode = fp.mode;
     check_operand(g.shape(), mode, v)?;
+    let _span = obs::span!("ttv.ghicoo");
     let mf = fp.num_fibers();
+    charge(g.order(), g.nnz(), mf);
     let nb = g.num_blocks();
     let out_shape = g.shape().without_mode(mode)?;
     let out_order = out_shape.order();
@@ -317,6 +337,7 @@ pub fn ttv_hicoo_sched_with<S: Scalar>(
             "scheduled Ttv supports order <= {MAX_SCHED_ORDER}, got {order}"
         )));
     }
+    let _span = obs::span!("ttv.hicoo.scheduled");
     let out_shape = h.shape().without_mode(mode)?;
     let other: Vec<usize> = (0..order).filter(|&m| m != mode).collect();
     let out_order = other.len();
@@ -380,6 +401,8 @@ pub fn ttv_hicoo_sched_with<S: Scalar>(
         vals.extend_from_slice(gvals);
         bptr.push(vals.len() as u64);
     }
+    // The fiber count is only known after folding, so charge at the end.
+    charge(order, h.nnz(), vals.len());
     Ok(HicooTensor::from_parts_unchecked(
         out_shape, bits, bptr, binds, einds, vals,
     ))

@@ -74,8 +74,26 @@ pub fn current_threads() -> usize {
 }
 
 /// Index of the calling worker thread within the current pool, if any.
+///
+/// This is a *region-relative* participant slot: it resets in nested
+/// regions and sequential fast paths. Keys for per-thread caches should
+/// use [`stable_thread_id`] instead.
 pub fn current_thread_index() -> Option<usize> {
     rayon::current_thread_index()
+}
+
+/// Stable identifier of the calling OS thread (the pool's stable worker
+/// index for pool workers, a unique id past the worker range otherwise).
+/// Unlike [`current_thread_index`] it never changes across nested
+/// parallel regions, so per-thread caches keyed by it cannot collide
+/// between two live threads.
+pub fn stable_thread_id() -> usize {
+    rayon::stable_thread_id()
+}
+
+/// The pool's stable worker index for this thread (`None` off-pool).
+pub fn stable_worker_index() -> Option<usize> {
+    rayon::stable_worker_index()
 }
 
 struct ArenaSlot<T> {
@@ -104,7 +122,10 @@ unsafe impl<T: Send> Sync for ArenaSlot<T> {}
 /// assert_eq!(sum, 16.0);
 /// ```
 ///
-/// Slots are claimed with an atomic try-lock keyed by the worker index, so
+/// Slots are claimed with an atomic try-lock keyed by the pool's *stable*
+/// thread id (not the region-relative `current_thread_index`, which resets
+/// to 0 in nested regions and sequential fast paths — two sibling workers
+/// running nested loops used to fold onto slot 0 and evict each other), so
 /// the arena is safe under nested parallelism or oversubscription: a thread
 /// that finds its slot busy simply builds a fresh buffer for that one call.
 /// Buffers are handed out dirty — callers must fully initialize the scratch
@@ -115,13 +136,15 @@ pub struct ScratchArena<T, F: Fn() -> T> {
 }
 
 impl<T: Send, F: Fn() -> T + Sync> ScratchArena<T, F> {
-    /// Create an arena with one slot per worker of the widest pool this
-    /// process has installed (not just the pool active at creation time):
-    /// arenas are often built outside any `ThreadPool::install` scope and
-    /// then used inside one, and sizing from the instantaneous thread count
-    /// would leave later regions sharing slots.
+    /// Create an arena with one slot per *possible* pool worker plus one
+    /// for off-pool callers. Regions are served by whichever pool workers
+    /// wake first — not necessarily workers `0..threads` — so sizing by
+    /// the instantaneous (or even the widest installed) thread count
+    /// would fold distinct live workers onto shared slots. Slots are
+    /// lazily filled `Option`s, so the unreached ones cost a word each,
+    /// not a buffer.
     pub fn new(make: F) -> Self {
-        let n = rayon::max_num_threads().max(current_threads()).max(1);
+        let n = 1 + rayon::pool_max_workers();
         let slots = (0..n)
             .map(|_| ArenaSlot {
                 busy: AtomicBool::new(false),
@@ -133,7 +156,13 @@ impl<T: Send, F: Fn() -> T + Sync> ScratchArena<T, F> {
 
     /// Run `f` with this thread's scratch buffer (creating it on first use).
     pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
-        let idx = current_thread_index().unwrap_or(0) % self.slots.len();
+        // Pool worker `w` owns slot `1 + w`; every other thread (usually
+        // just the submitting caller) shares slot 0, where the CAS
+        // fallback below keeps concurrent foreign threads safe.
+        let idx = match stable_worker_index() {
+            Some(w) => 1 + w,
+            None => 0,
+        };
         let slot = &self.slots[idx];
         if slot
             .busy
@@ -238,6 +267,51 @@ mod tests {
             })
             .collect();
         assert!(results.iter().enumerate().all(|(i, &r)| r == i * 16));
+    }
+
+    #[test]
+    fn scratch_arena_keys_by_stable_worker_index_under_nesting() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+        // Regression: arena slots used to be keyed by the region-relative
+        // `current_thread_index()`, which resets to Some(0) inside nested
+        // (fast-path) regions — two sibling outer workers holding scratch
+        // simultaneously both mapped to slot 0, so one of them built a
+        // fresh fallback buffer on every call. Stable worker ids give each
+        // OS thread its own slot: the allocation count stays bounded by
+        // the number of participating threads no matter how many rounds
+        // run.
+        let allocs = AtomicUsize::new(0);
+        let arena = ScratchArena::new(|| {
+            allocs.fetch_add(1, Ordering::Relaxed);
+            vec![0u64; 4]
+        });
+        let rounds = 16;
+        with_threads(2, || {
+            let barrier = Barrier::new(2);
+            (0..2usize).into_par_iter().with_min_len(1).for_each(|_| {
+                for _ in 0..rounds {
+                    // A 1-element nested region takes the sequential fast
+                    // path, where current_thread_index() is Some(0) on
+                    // both workers but stable ids stay distinct.
+                    (0..1usize).into_par_iter().for_each(|_| {
+                        barrier.wait();
+                        arena.with(|s| {
+                            s[0] += 1;
+                            // Both threads are inside `with` right now, so
+                            // a slot collision would force a fallback
+                            // allocation this round.
+                            barrier.wait();
+                        });
+                    });
+                }
+            });
+        });
+        let n = allocs.load(Ordering::Relaxed);
+        assert!(
+            n <= 2,
+            "one buffer per OS thread expected, saw {n} allocations"
+        );
     }
 
     #[test]

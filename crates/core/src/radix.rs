@@ -17,6 +17,8 @@
 
 use rayon::prelude::*;
 
+use tenbench_obs as obs;
+
 /// Number of distinct 8-bit digits.
 const BUCKETS: usize = 256;
 
@@ -60,6 +62,8 @@ where
     if n <= 1 || passes == 0 {
         return;
     }
+    let _span = obs::span!("radix.sort");
+    obs::counters::SORT_KEYS.add(n as u64);
     let threads = rayon::current_num_threads().max(1);
     let mut buf: Vec<u32> = vec![0u32; n];
     for pass in 0..passes {

@@ -100,6 +100,60 @@ impl Roofline {
     }
 }
 
+/// Roofline annotation of one *measured* kernel execution: the achieved
+/// rate placed against the model (the instrumented-counter analogue of the
+/// paper's "Roofline performance" bound).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Achieved {
+    /// Achieved GFLOPS (`flops / secs / 1e9`).
+    pub gflops: f64,
+    /// Measured operational intensity (`flops / bytes`).
+    pub oi: f64,
+    /// Attainable GFLOPS at this OI under the ERT-DRAM ceiling.
+    pub bound_gflops: f64,
+    /// Which roof binds at this OI: `"memory"` below the ERT-DRAM ridge
+    /// point, `"compute"` at or above it.
+    pub bound_by: &'static str,
+    /// Achieved rate as a percentage of the binding roof.
+    pub pct_of_roof: f64,
+}
+
+impl Roofline {
+    /// Annotate a measured `(flops, bytes, secs)` triple — typically the
+    /// per-call deltas of the obs `kernel.flops` / `kernel.bytes` counters
+    /// around a timed kernel invocation.
+    pub fn annotate(&self, flops: u64, bytes: u64, secs: f64) -> Achieved {
+        let gflops = if secs > 0.0 {
+            flops as f64 / secs / 1e9
+        } else {
+            0.0
+        };
+        let oi = if bytes > 0 {
+            flops as f64 / bytes as f64
+        } else {
+            f64::INFINITY
+        };
+        let bound_gflops = self.attainable_dram(oi);
+        let bound_by = if oi * self.ert_dram_gbs() < self.peak_gflops {
+            "memory"
+        } else {
+            "compute"
+        };
+        let pct_of_roof = if bound_gflops > 0.0 {
+            100.0 * gflops / bound_gflops
+        } else {
+            0.0
+        };
+        Achieved {
+            gflops,
+            oi,
+            bound_gflops,
+            bound_by,
+            pct_of_roof,
+        }
+    }
+}
+
 /// The asymptotic kernel OI marks of Figure 3 (from Table 1).
 pub fn kernel_oi_marks() -> Vec<(&'static str, f64)> {
     vec![
@@ -159,6 +213,26 @@ mod tests {
         for w in marks.windows(2) {
             assert!(w[0].1 < w[1].1);
         }
+    }
+
+    #[test]
+    fn annotate_places_measurements_against_the_model() {
+        let r = Roofline::from_platform(find("bluesky").unwrap());
+        // Memory-bound: Mttkrp-like OI of 1/4 at some achieved rate.
+        let a = r.annotate(1_000_000_000, 4_000_000_000, 0.1);
+        assert_eq!(a.gflops, 10.0);
+        assert!((a.oi - 0.25).abs() < 1e-12);
+        assert_eq!(a.bound_by, "memory");
+        assert!((a.bound_gflops - 0.25 * r.ert_dram_gbs()).abs() < 1e-9);
+        assert!((a.pct_of_roof - 100.0 * 10.0 / a.bound_gflops).abs() < 1e-9);
+        // Compute-bound: huge OI pins the bound to the peak.
+        let c = r.annotate(u64::MAX, 1, 1.0);
+        assert_eq!(c.bound_by, "compute");
+        assert_eq!(c.bound_gflops, r.peak_gflops);
+        // Degenerate inputs don't divide by zero.
+        let z = r.annotate(100, 0, 0.0);
+        assert_eq!(z.gflops, 0.0);
+        assert!(z.oi.is_infinite());
     }
 
     #[test]

@@ -42,6 +42,58 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Mutex;
 
+/// Stable per-OS-thread identifiers for per-thread caches.
+///
+/// `current_thread_index()` mirrors rayon: it names a *participant slot*
+/// inside one region, so it resets to 0 in sequential fast paths and in
+/// nested regions — two sibling workers running nested loops both observe
+/// index 0, which made `ScratchArena`-style caches collide. Stable ids
+/// instead name the OS thread: pool workers permanently own `1 + spawn
+/// index` (the pool's stable worker index, matching their
+/// `tenbench-pool-N` thread name), every other thread draws a unique id
+/// past the worker range on first use. Not part of the rayon API.
+mod stable_id {
+    use super::*;
+
+    thread_local! {
+        pub(super) static STABLE_ID: Cell<Option<usize>> = const { Cell::new(None) };
+    }
+
+    /// Non-pool threads draw ids after the worker range.
+    static NEXT_FOREIGN: AtomicUsize = AtomicUsize::new(pool::MAX_WORKERS + 1);
+
+    pub(super) fn get() -> usize {
+        STABLE_ID.with(|c| match c.get() {
+            Some(id) => id,
+            None => {
+                let id = NEXT_FOREIGN.fetch_add(1, AtomicOrdering::Relaxed);
+                c.set(Some(id));
+                id
+            }
+        })
+    }
+}
+
+/// A stable identifier for the calling OS thread: pool workers return
+/// `1 + spawn index` for their whole lifetime, other threads a unique id
+/// `> MAX_WORKERS` assigned on first call. Unlike
+/// [`current_thread_index`] this never changes across (nested) parallel
+/// regions, making it the right key for per-thread scratch caches.
+/// Diagnostics/infrastructure API, not part of rayon.
+pub fn stable_thread_id() -> usize {
+    stable_id::get()
+}
+
+/// The pool's stable worker index for the calling thread (its spawn
+/// index, constant for the thread's lifetime), or `None` for threads the
+/// pool does not own. Unlike [`current_thread_index`] this does not reset
+/// in nested regions or sequential fast paths. Not part of the rayon API.
+pub fn stable_worker_index() -> Option<usize> {
+    stable_id::STABLE_ID
+        .with(|c| c.get())
+        .and_then(|id| (1..=pool::MAX_WORKERS).contains(&id).then(|| id - 1))
+}
+
 /// Everything needed for `use rayon::prelude::*;`.
 pub mod prelude {
     pub use crate::{
@@ -107,13 +159,119 @@ mod pool {
     use std::any::Any;
     use std::ops::Range;
     use std::panic::{catch_unwind, AssertUnwindSafe};
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex, OnceLock};
+    use std::time::Instant;
 
     use crate::{CURRENT_THREADS, THREAD_INDEX};
 
+    /// Telemetry for one pool participant. All relaxed: totals are read
+    /// after the regions of interest have joined.
+    pub(crate) struct StatCell {
+        pub(crate) busy_ns: AtomicU64,
+        pub(crate) park_ns: AtomicU64,
+        pub(crate) regions: AtomicU64,
+        pub(crate) chunks: AtomicU64,
+    }
+
+    impl StatCell {
+        const fn new() -> Self {
+            StatCell {
+                busy_ns: AtomicU64::new(0),
+                park_ns: AtomicU64::new(0),
+                regions: AtomicU64::new(0),
+                chunks: AtomicU64::new(0),
+            }
+        }
+
+        fn reset(&self) {
+            self.busy_ns.store(0, Ordering::Relaxed);
+            self.park_ns.store(0, Ordering::Relaxed);
+            self.regions.store(0, Ordering::Relaxed);
+            self.chunks.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Master switch for pool telemetry. Off (the default) costs one
+    /// relaxed load per region/park; on adds two monotonic clock reads
+    /// per participant per region.
+    static TELEMETRY: AtomicBool = AtomicBool::new(false);
+    /// Parallel regions executed (pool path and sequential fast path).
+    static REGIONS: AtomicU64 = AtomicU64::new(0);
+    /// Chunks scheduled across all regions.
+    static CHUNKS_TOTAL: AtomicU64 = AtomicU64::new(0);
+    /// Chunks executed by a pool helper rather than the submitting
+    /// caller, i.e. taken off the region's shared chunk counter.
+    static CHUNKS_STOLEN: AtomicU64 = AtomicU64::new(0);
+    /// Aggregate lane for every submitting caller (the main thread, test
+    /// threads, or a worker submitting a nested region).
+    static CALLER_STATS: StatCell = StatCell::new();
+
+    fn worker_stats() -> &'static [StatCell] {
+        static CELLS: OnceLock<Vec<StatCell>> = OnceLock::new();
+        CELLS.get_or_init(|| (0..MAX_WORKERS).map(|_| StatCell::new()).collect())
+    }
+
+    #[inline]
+    pub(crate) fn telemetry_enabled() -> bool {
+        TELEMETRY.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_telemetry(on: bool) -> bool {
+        TELEMETRY.swap(on, Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset_stats() {
+        for cell in worker_stats() {
+            cell.reset();
+        }
+        CALLER_STATS.reset();
+        REGIONS.store(0, Ordering::Relaxed);
+        CHUNKS_TOTAL.store(0, Ordering::Relaxed);
+        CHUNKS_STOLEN.store(0, Ordering::Relaxed);
+    }
+
+    fn snap_cell(worker: usize, cell: &StatCell) -> crate::WorkerStats {
+        crate::WorkerStats {
+            worker,
+            busy_ns: cell.busy_ns.load(Ordering::Relaxed),
+            park_ns: cell.park_ns.load(Ordering::Relaxed),
+            regions: cell.regions.load(Ordering::Relaxed),
+            chunks: cell.chunks.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn stats_snapshot() -> crate::PoolStats {
+        let spawned = registry().queue.lock().unwrap().spawned;
+        crate::PoolStats {
+            workers: worker_stats()
+                .iter()
+                .take(spawned)
+                .enumerate()
+                .map(|(i, cell)| snap_cell(i, cell))
+                .collect(),
+            caller: snap_cell(usize::MAX, &CALLER_STATS),
+            regions: REGIONS.load(Ordering::Relaxed),
+            chunks_total: CHUNKS_TOTAL.load(Ordering::Relaxed),
+            chunks_stolen: CHUNKS_STOLEN.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Charge a caller-lane region to the telemetry totals.
+    fn note_caller_region(elapsed_ns: u64, scheduled_chunks: u64, executed_chunks: u64) {
+        CALLER_STATS
+            .busy_ns
+            .fetch_add(elapsed_ns, Ordering::Relaxed);
+        CALLER_STATS.regions.fetch_add(1, Ordering::Relaxed);
+        CALLER_STATS
+            .chunks
+            .fetch_add(executed_chunks, Ordering::Relaxed);
+        REGIONS.fetch_add(1, Ordering::Relaxed);
+        CHUNKS_TOTAL.fetch_add(scheduled_chunks, Ordering::Relaxed);
+    }
+
     /// Hard cap on pool worker (helper) threads for the whole process.
-    const MAX_WORKERS: usize = 255;
+    pub(crate) const MAX_WORKERS: usize = 255;
 
     type Body = dyn Fn(Range<usize>) + Sync;
 
@@ -152,18 +310,22 @@ mod pool {
     unsafe impl Sync for Job {}
 
     impl Job {
-        /// Pull chunks off the shared counter until the region is drained.
-        fn drain(&self) {
+        /// Pull chunks off the shared counter until the region is
+        /// drained; returns how many chunks this participant executed.
+        fn drain(&self) -> u64 {
             // SAFETY: see `unsafe impl Send for Job`.
             let body = unsafe { &*self.body };
+            let mut executed = 0u64;
             loop {
                 let c = self.counter.fetch_add(1, Ordering::Relaxed);
                 if c >= self.nchunks {
                     break;
                 }
+                executed += 1;
                 let lo = c * self.chunk;
                 body(lo..(lo + self.chunk).min(self.len));
             }
+            executed
         }
 
         fn record_panic(&self, payload: Box<dyn Any + Send>) {
@@ -205,7 +367,10 @@ mod pool {
         registry().queue.lock().unwrap().spawned
     }
 
-    fn worker_loop(reg: &'static Registry) {
+    fn worker_loop(reg: &'static Registry, worker_id: usize) {
+        // Workers permanently own the stable id `1 + spawn index`; see
+        // `crate::stable_thread_id`.
+        crate::stable_id::STABLE_ID.with(|c| c.set(Some(1 + worker_id)));
         loop {
             // Claim a helper slot on some open, undrained job.
             let job = {
@@ -228,7 +393,13 @@ mod pool {
                         break job;
                     }
                     q.idle += 1;
+                    let park_t0 = telemetry_enabled().then(Instant::now);
                     q = reg.work.wait(q).unwrap();
+                    if let Some(t0) = park_t0 {
+                        worker_stats()[worker_id]
+                            .park_ns
+                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    }
                     q.idle -= 1;
                 }
             };
@@ -236,7 +407,18 @@ mod pool {
             let index = job.next_index.fetch_add(1, Ordering::Relaxed);
             let prev_threads = CURRENT_THREADS.with(|c| c.replace(Some(job.threads)));
             let prev_index = THREAD_INDEX.with(|c| c.replace(Some(index)));
+            let busy_t0 = telemetry_enabled().then(Instant::now);
             let result = catch_unwind(AssertUnwindSafe(|| job.drain()));
+            if let Some(t0) = busy_t0 {
+                let cell = &worker_stats()[worker_id];
+                cell.busy_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                cell.regions.fetch_add(1, Ordering::Relaxed);
+                if let Ok(executed) = &result {
+                    cell.chunks.fetch_add(*executed, Ordering::Relaxed);
+                    CHUNKS_STOLEN.fetch_add(*executed, Ordering::Relaxed);
+                }
+            }
             THREAD_INDEX.with(|c| c.set(prev_index));
             CURRENT_THREADS.with(|c| c.set(prev_threads));
             if let Err(payload) = result {
@@ -256,9 +438,10 @@ mod pool {
             .saturating_sub(q.idle)
             .min(MAX_WORKERS.saturating_sub(q.spawned));
         for _ in 0..deficit {
+            let id = q.spawned;
             let spawned = std::thread::Builder::new()
-                .name(format!("tenbench-pool-{}", q.spawned))
-                .spawn(move || worker_loop(registry()))
+                .name(format!("tenbench-pool-{id}"))
+                .spawn(move || worker_loop(registry(), id))
                 .is_ok();
             if spawned {
                 q.spawned += 1;
@@ -293,9 +476,13 @@ mod pool {
             .min(nchunks.saturating_sub(1))
             .min(MAX_WORKERS);
         if threads == 1 || len <= grain || helpers == 0 {
+            let t0 = telemetry_enabled().then(Instant::now);
             let prev = THREAD_INDEX.with(|c| c.replace(Some(0)));
             body(0..len);
             THREAD_INDEX.with(|c| c.set(prev));
+            if let Some(t0) = t0 {
+                note_caller_region(t0.elapsed().as_nanos() as u64, 1, 1);
+            }
             return;
         }
 
@@ -323,9 +510,14 @@ mod pool {
 
         // The caller is participant 0 and always drains; a region finishes
         // even if no worker ever picks it up.
+        let t0 = telemetry_enabled().then(Instant::now);
         let prev = THREAD_INDEX.with(|c| c.replace(Some(0)));
         let caller_result = catch_unwind(AssertUnwindSafe(|| job.drain()));
         THREAD_INDEX.with(|c| c.set(prev));
+        if let Some(t0) = t0 {
+            let executed = *caller_result.as_ref().ok().unwrap_or(&0);
+            note_caller_region(t0.elapsed().as_nanos() as u64, nchunks as u64, executed);
+        }
 
         retract(&job);
         {
@@ -349,6 +541,67 @@ mod pool {
 #[doc(hidden)]
 pub fn pool_worker_count() -> usize {
     pool::worker_count()
+}
+
+/// Hard cap on pool worker threads for the whole process; stable worker
+/// indices are always `< pool_max_workers()`. Not part of the rayon API.
+pub fn pool_max_workers() -> usize {
+    pool::MAX_WORKERS
+}
+
+/// Telemetry for one pool participant lane. Times are monotonic-clock
+/// nanoseconds accumulated while [`set_pool_telemetry`] was on.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerStats {
+    /// Worker spawn index; `usize::MAX` labels the aggregate caller lane.
+    pub worker: usize,
+    /// Nanoseconds spent draining region chunks.
+    pub busy_ns: u64,
+    /// Nanoseconds spent parked on the registry condvar.
+    pub park_ns: u64,
+    /// Regions this lane participated in.
+    pub regions: u64,
+    /// Chunks this lane executed.
+    pub chunks: u64,
+}
+
+/// A snapshot of the persistent pool's telemetry counters.
+#[derive(Clone, Debug, Default)]
+pub struct PoolStats {
+    /// Per-worker lanes, in spawn order (only workers spawned so far).
+    pub workers: Vec<WorkerStats>,
+    /// Aggregate lane for submitting callers (main/test threads, plus
+    /// workers submitting nested regions).
+    pub caller: WorkerStats,
+    /// Parallel regions executed (including sequential fast paths).
+    pub regions: u64,
+    /// Chunks scheduled across all regions.
+    pub chunks_total: u64,
+    /// Chunks executed by a helper other than the submitting caller.
+    pub chunks_stolen: u64,
+}
+
+/// Enable or disable pool telemetry, returning the previous state. Off
+/// (the default) the per-region cost is one relaxed atomic load; on it
+/// adds two monotonic clock reads per participant per region. Not part
+/// of the rayon API.
+pub fn set_pool_telemetry(on: bool) -> bool {
+    pool::set_telemetry(on)
+}
+
+/// Is pool telemetry currently enabled?
+pub fn pool_telemetry_enabled() -> bool {
+    pool::telemetry_enabled()
+}
+
+/// Snapshot the pool telemetry counters. Not part of the rayon API.
+pub fn pool_stats() -> PoolStats {
+    pool::stats_snapshot()
+}
+
+/// Zero the pool telemetry counters (e.g. at the start of a capture).
+pub fn reset_pool_stats() {
+    pool::reset_stats()
 }
 
 /// Builder for a scoped thread pool (only `num_threads` is honored).
@@ -1244,5 +1497,87 @@ mod tests {
     fn max_num_threads_tracks_widest_pool() {
         let _ = ThreadPoolBuilder::new().num_threads(6).build().unwrap();
         assert!(max_num_threads() >= 6);
+    }
+
+    #[test]
+    fn stable_thread_id_is_stable_across_nested_regions() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        // Distinct OS threads must observe distinct stable ids, and a
+        // thread's id must not change when it enters a nested region or a
+        // sequential fast path (where current_thread_index() resets to 0,
+        // the bug that used to collide ScratchArena slots).
+        let seen = Mutex::new(Vec::new());
+        pool.install(|| {
+            (0..16).into_par_iter().with_min_len(1).for_each(|_| {
+                let outer = stable_thread_id();
+                // Nested small region takes the sequential fast path.
+                (0..4usize).into_par_iter().with_min_len(64).for_each(|_| {
+                    assert_eq!(
+                        stable_thread_id(),
+                        outer,
+                        "stable id changed inside a nested region"
+                    );
+                });
+                seen.lock()
+                    .unwrap()
+                    .push((std::thread::current().id(), outer));
+            });
+        });
+        let seen = seen.lock().unwrap();
+        let os_threads: HashSet<_> = seen.iter().map(|(os, _)| *os).collect();
+        let stable_ids: HashSet<_> = seen.iter().map(|(_, id)| *id).collect();
+        assert_eq!(
+            os_threads.len(),
+            stable_ids.len(),
+            "stable ids must be 1:1 with OS threads"
+        );
+        // And the mapping itself is consistent: one stable id per OS thread.
+        for (os, id) in seen.iter() {
+            assert!(seen.iter().filter(|(o, _)| o == os).all(|(_, i)| i == id));
+        }
+    }
+
+    #[test]
+    fn pool_telemetry_accounts_regions_and_chunks() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        // Warm the pool up first so worker spawning isn't measured.
+        pool.install(|| (0..1000).into_par_iter().with_min_len(1).for_each(|_| {}));
+        reset_pool_stats();
+        let prev = set_pool_telemetry(true);
+        pool.install(|| {
+            (0..100_000).into_par_iter().with_min_len(16).for_each(|i| {
+                std::hint::black_box(i);
+            });
+        });
+        set_pool_telemetry(prev);
+        let stats = pool_stats();
+        assert!(stats.regions >= 1, "region counted");
+        assert!(stats.chunks_total >= 1, "chunks counted");
+        let executed: u64 =
+            stats.workers.iter().map(|w| w.chunks).sum::<u64>() + stats.caller.chunks;
+        assert_eq!(
+            executed, stats.chunks_total,
+            "every scheduled chunk executed exactly once"
+        );
+        assert!(
+            stats.chunks_stolen <= stats.chunks_total,
+            "stolen is a subset of total"
+        );
+        assert!(
+            stats.caller.busy_ns > 0,
+            "caller lane accumulated busy time"
+        );
+    }
+
+    #[test]
+    fn pool_telemetry_off_accumulates_nothing() {
+        let prev = set_pool_telemetry(false);
+        reset_pool_stats();
+        (0..10_000).into_par_iter().with_min_len(8).for_each(|_| {});
+        let stats = pool_stats();
+        assert_eq!(stats.regions, 0);
+        assert_eq!(stats.chunks_total, 0);
+        assert_eq!(stats.caller.busy_ns, 0);
+        set_pool_telemetry(prev);
     }
 }
