@@ -20,6 +20,14 @@
 //! tenbench obs-overhead [--dataset s4] [--nnz N] [--rank R] [--block-bits B]
 //!                   [--reps K] [--threads 1,2,4] [--rounds 3]
 //!                   [--out BENCH_obs_overhead.json] [--max-overhead-pct X]
+//! tenbench serve    [--dataset s4] [--nnz N] [--rank R] [--workers W]
+//!                   [--queue-bound Q] [--max-batch B] [--cache-mb M]
+//!                   [--block-bits B] [--max-seconds S]
+//! tenbench stress   [--dataset s4] [--nnz N] [--tensors T] [--duration 5s]
+//!                   [--concurrency C] [--alpha A] [--rank R] [--workers W]
+//!                   [--queue-bound Q] [--max-batch B] [--cache-mb M]
+//!                   [--deadline-ms D] [--max-p99-ms X] [--min-hit-ratio H]
+//!                   [--out BENCH_serve.json]
 //! ```
 //!
 //! The measuring subcommands (`kernel`, `ablate-mttkrp`, `convert-bench`)
@@ -35,6 +43,14 @@
 //! against the sequential reference), and on failure the strategy falls
 //! back through the chain (e.g. `scheduled -> atomic -> privatized ->
 //! seq`). `verify` runs the full integrity battery on one tensor file.
+//!
+//! `serve` starts the in-process batched kernel service (supervised
+//! executor, format/schedule cache, admission-controlled queue) and runs a
+//! demonstration request mix; `stress` drives it closed-loop with
+//! Zipf-skewed tensor popularity, probes overload shedding, and writes
+//! `BENCH_serve.json` with p50/p90/p99 latency, throughput, and cache hit
+//! ratio. Its gates (`--max-p99-ms`, `--min-hit-ratio`, and a mandatory
+//! typed queue-full rejection under overload) fail the process for CI.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -52,6 +68,22 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Build the service tuning knobs shared by `serve` and `stress` from the
+/// parsed options.
+fn serve_config(
+    get_usize: &dyn Fn(&str, usize) -> Result<usize, String>,
+    block_bits: u8,
+) -> Result<tenbench_serve::ServeConfig, String> {
+    let defaults = tenbench_serve::ServeConfig::default();
+    Ok(tenbench_serve::ServeConfig {
+        workers: get_usize("workers", defaults.workers)?,
+        queue_bound: get_usize("queue-bound", defaults.queue_bound)?,
+        max_batch: get_usize("max-batch", defaults.max_batch)?,
+        cache_bytes: (get_usize("cache-mb", (defaults.cache_bytes >> 20) as usize)? as u64) << 20,
+        block_bits,
+    })
 }
 
 fn run() -> Result<String, Box<dyn std::error::Error>> {
@@ -286,6 +318,52 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
                 max_overhead_pct,
             )?)
         }
-        _ => Err("usage: tenbench <convert|stats|generate|kernel|ablate-mttkrp|convert-bench|verify|report|obs-overhead> ... (see the module docs)".into()),
+        Some("serve") => {
+            let serve_cfg = serve_config(&get_usize, block_bits)?;
+            Ok(cli::serve_demo(
+                opts.get("dataset").map(String::as_str).unwrap_or("s4"),
+                get_usize("nnz", 20_000)?,
+                get_usize("rank", 16)?,
+                serve_cfg,
+                &supervisor_cfg(),
+            )?)
+        }
+        Some("stress") => {
+            let serve_cfg = serve_config(&get_usize, block_bits)?;
+            let max_p99_ms: Option<f64> = opts
+                .get("max-p99-ms")
+                .map(|v| v.parse().map_err(|_| "bad --max-p99-ms".to_string()))
+                .transpose()?;
+            let min_hit_ratio: f64 = opts
+                .get("min-hit-ratio")
+                .map(|v| v.parse().map_err(|_| "bad --min-hit-ratio".to_string()))
+                .transpose()?
+                .unwrap_or(0.5);
+            let alpha: f64 = opts
+                .get("alpha")
+                .map(|v| v.parse().map_err(|_| "bad --alpha".to_string()))
+                .transpose()?
+                .unwrap_or(1.1);
+            let stress_opts = cli::StressOpts {
+                dataset: opts
+                    .get("dataset")
+                    .cloned()
+                    .unwrap_or_else(|| "s4".to_string()),
+                nnz: get_usize("nnz", 20_000)?,
+                tensors: get_usize("tensors", 12)?,
+                duration: cli::parse_duration(
+                    opts.get("duration").map(String::as_str).unwrap_or("5s"),
+                )?,
+                concurrency: get_usize("concurrency", 4)?,
+                alpha,
+                rank: get_usize("rank", 16)?,
+                deadline_ms: get_usize("deadline-ms", 0)? as u64,
+                max_p99_ms,
+                min_hit_ratio,
+                out_json: opts.get("out").map(PathBuf::from),
+            };
+            Ok(cli::stress(&stress_opts, serve_cfg, &supervisor_cfg())?)
+        }
+        _ => Err("usage: tenbench <convert|stats|generate|kernel|ablate-mttkrp|convert-bench|verify|report|obs-overhead|serve|stress> ... (see the module docs)".into()),
     }
 }

@@ -977,15 +977,11 @@ pub fn ablate_mttkrp(
             };
             let s = base / r.time_s;
             json.push_str(&format!(
-                "    {{\"name\": \"{}\", \"time_s\": {}, \"melem_s\": {:.3}, \"speedup_vs_atomic\": {:.3}, \"status\": \"{}\"}}{}\n",
+                "    {{\"name\": \"{}\", \"time_s\": {}, \"melem_s\": {}, \"speedup_vs_atomic\": {}, \"status\": \"{}\"}}{}\n",
                 r.name,
-                if r.time_s.is_finite() {
-                    format!("{:.6e}", r.time_s)
-                } else {
-                    "null".to_string()
-                },
-                r.melem_s,
-                if s.is_finite() { s } else { 0.0 },
+                obs::json::json_f64(r.time_s),
+                obs::json::json_f64_fixed(r.melem_s, 3),
+                obs::json::json_f64_fixed(s, 3),
                 r.status.label(),
                 if i + 1 < rows.len() { "," } else { "" }
             ));
@@ -1114,19 +1110,20 @@ pub fn convert_bench(
         json.push_str("  \"rows\": [\n");
         for (i, r) in rows.iter().enumerate() {
             json.push_str(&format!(
-                "    {{\"pipeline\": \"{}\", \"threads\": {}, \"sort_s\": {:.6e}, \"build_s\": {:.6e}, \"total_s\": {:.6e}, \"mnnz_per_s\": {:.3}, \"speedup_vs_baseline\": {:.3}}}{}\n",
+                "    {{\"pipeline\": \"{}\", \"threads\": {}, \"sort_s\": {}, \"build_s\": {}, \"total_s\": {}, \"mnnz_per_s\": {}, \"speedup_vs_baseline\": {}}}{}\n",
                 r.algo,
                 r.threads,
-                r.sort_s,
-                r.build_s,
-                r.total_s(),
-                mnnz(r),
-                base_total / r.total_s(),
+                obs::json::json_f64(r.sort_s),
+                obs::json::json_f64(r.build_s),
+                obs::json::json_f64(r.total_s()),
+                obs::json::json_f64_fixed(mnnz(r), 3),
+                obs::json::json_f64_fixed(base_total / r.total_s(), 3),
                 if i + 1 < rows.len() { "," } else { "" }
             ));
         }
         json.push_str(&format!(
-            "  ],\n  \"speedup_at_max_threads\": {final_speedup:.3}\n}}\n"
+            "  ],\n  \"speedup_at_max_threads\": {}\n}}\n",
+            obs::json::json_f64_fixed(final_speedup, 3)
         ));
         std::fs::write(path, &json)?;
         out.push_str(&format!("wrote {}\n", path.display()));
@@ -1227,7 +1224,15 @@ pub fn obs_overhead(
             traced_s,
         });
     }
-    let pct = |r: &Row| (r.traced_s / r.untraced_s - 1.0) * 100.0;
+    // Guarded: a degenerate zero-time untraced baseline must not turn the
+    // overhead into a non-finite number (it would poison the JSON gate).
+    let pct = |r: &Row| {
+        if r.untraced_s > 0.0 && r.untraced_s.is_finite() && r.traced_s.is_finite() {
+            (r.traced_s / r.untraced_s - 1.0) * 100.0
+        } else {
+            0.0
+        }
+    };
 
     let mut tab = TextTable::new(["Threads", "Untraced (s)", "Traced (s)", "Overhead"]);
     for r in &rows {
@@ -1256,11 +1261,11 @@ pub fn obs_overhead(
         json.push_str("  \"rows\": [\n");
         for (i, r) in rows.iter().enumerate() {
             json.push_str(&format!(
-                "    {{\"threads\": {}, \"untraced_s\": {:.6e}, \"traced_s\": {:.6e}, \"overhead_pct\": {:.3}}}{}\n",
+                "    {{\"threads\": {}, \"untraced_s\": {}, \"traced_s\": {}, \"overhead_pct\": {}}}{}\n",
                 r.threads,
-                r.untraced_s,
-                r.traced_s,
-                pct(r),
+                obs::json::json_f64(r.untraced_s),
+                obs::json::json_f64(r.traced_s),
+                obs::json::json_f64_fixed(pct(r), 3),
                 if i + 1 < rows.len() { "," } else { "" }
             ));
         }
@@ -1279,6 +1284,299 @@ pub fn obs_overhead(
         }
         out.push_str(&format!("overhead gate: all <= {ceiling:.2}% ok\n"));
     }
+    Ok(out)
+}
+
+/// Parse a `--duration` value: a plain number of seconds, optionally with
+/// an `s`/`ms` suffix (`"5"`, `"5s"`, `"250ms"`).
+pub fn parse_duration(s: &str) -> CliResult<std::time::Duration> {
+    let bad = || CliError::Usage(format!("bad --duration {s:?} (expected e.g. 5, 5s, 250ms)"));
+    if let Some(ms) = s.strip_suffix("ms") {
+        let v: u64 = ms.parse().map_err(|_| bad())?;
+        return Ok(std::time::Duration::from_millis(v));
+    }
+    let secs = s.strip_suffix('s').unwrap_or(s);
+    let v: f64 = secs.parse().map_err(|_| bad())?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(bad());
+    }
+    Ok(std::time::Duration::from_secs_f64(v))
+}
+
+/// `serve`: start the in-process kernel service on the supervised
+/// executor, submit a demonstration mix of requests (every kernel × both
+/// formats across a few tensors), and print per-request metrics plus the
+/// service report. This is the smoke-level entry point; `stress` is the
+/// load generator.
+pub fn serve_demo(
+    dataset: &str,
+    nnz: usize,
+    rank: usize,
+    serve_cfg: tenbench_serve::ServeConfig,
+    sup_cfg: &SupervisorConfig,
+) -> CliResult<String> {
+    let d = tenbench_gen::registry::find(dataset)
+        .ok_or_else(|| CliError::Usage(format!("unknown dataset id {dataset:?}")))?;
+    let pool: Vec<Arc<CooTensor<f32>>> = (0..3u64)
+        .map(|i| Arc::new(d.generate_with(nnz, d.default_seed().wrapping_add(i))))
+        .collect();
+    let svc = tenbench_serve::KernelService::start(
+        serve_cfg,
+        Box::new(crate::serve_exec::SupervisedExecutor::new(sup_cfg.clone())),
+    );
+
+    let mut submitted = Vec::new();
+    for (i, x) in pool.iter().enumerate() {
+        for kernel in Kernel::ALL {
+            for format in [
+                tenbench_serve::FormatKind::Coo,
+                tenbench_serve::FormatKind::Hicoo,
+            ] {
+                let mode = i % x.order();
+                let ticket = svc
+                    .submit(tenbench_serve::Request {
+                        kernel,
+                        format,
+                        mode,
+                        rank,
+                        tensor: x.clone(),
+                        deadline: None,
+                    })
+                    .map_err(|e| CliError::Usage(format!("submit refused: {e}")))?;
+                submitted.push((kernel, format, mode, ticket));
+            }
+        }
+    }
+
+    let mut tab = TextTable::new([
+        "Kernel",
+        "Format",
+        "Mode",
+        "Strategy",
+        "Batch",
+        "Cache",
+        "Queued (ms)",
+        "Exec (ms)",
+        "Total (ms)",
+    ]);
+    for (kernel, format, mode, ticket) in submitted {
+        match ticket.wait() {
+            Ok(r) => tab.row([
+                kernel.name().to_string(),
+                format.as_str().to_string(),
+                mode.to_string(),
+                r.strategy,
+                r.batch_size.to_string(),
+                if r.cache_hit { "hit" } else { "miss" }.to_string(),
+                format!("{:.3}", r.queued_ms),
+                format!("{:.3}", r.exec_ms),
+                format!("{:.3}", r.total_ms),
+            ]),
+            Err(e) => tab.row([
+                kernel.name().to_string(),
+                format.as_str().to_string(),
+                mode.to_string(),
+                format!("ERROR: {e}"),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]),
+        }
+    }
+    let report = svc.shutdown();
+    let mut out = format!(
+        "kernel service demo on {dataset} x3 ({} nnz each, rank {rank})\n",
+        fint(pool[0].nnz() as u64),
+    );
+    out.push_str(&tab.render());
+    out.push_str("\nservice report\n");
+    out.push_str(&report.render());
+    Ok(out)
+}
+
+/// Knobs for [`stress`], bundling what would otherwise be a dozen
+/// positional arguments.
+#[derive(Debug, Clone)]
+pub struct StressOpts {
+    /// Registry dataset id used to generate the tensor pool.
+    pub dataset: String,
+    /// Nonzeros per pool tensor.
+    pub nnz: usize,
+    /// Pool size (distinct tensors; Zipf popularity ranges over these).
+    pub tensors: usize,
+    /// Closed-loop phase length.
+    pub duration: std::time::Duration,
+    /// Closed-loop client workers.
+    pub concurrency: usize,
+    /// Zipf skew of tensor popularity.
+    pub alpha: f64,
+    /// Factor rank for Ttm/Mttkrp requests.
+    pub rank: usize,
+    /// Per-request queue deadline in ms for the closed loop (0 = none).
+    pub deadline_ms: u64,
+    /// Fail if the closed-loop p99 latency exceeds this many ms.
+    pub max_p99_ms: Option<f64>,
+    /// Fail if the closed-loop cache hit ratio falls below this.
+    pub min_hit_ratio: f64,
+    /// Write `BENCH_serve.json` here.
+    pub out_json: Option<PathBuf>,
+}
+
+/// `stress`: drive the kernel service closed-loop with Zipf-skewed tensor
+/// popularity, then probe overload behaviour with an open burst, and
+/// write `BENCH_serve.json`. Gates (each a usage error on violation):
+/// closed-loop p99 at or under `--max-p99-ms`; cache hit ratio at or over
+/// `--min-hit-ratio`; at least one typed queue-full rejection from the
+/// overload probe.
+pub fn stress(
+    opts: &StressOpts,
+    serve_cfg: tenbench_serve::ServeConfig,
+    sup_cfg: &SupervisorConfig,
+) -> CliResult<String> {
+    let d = tenbench_gen::registry::find(&opts.dataset)
+        .ok_or_else(|| CliError::Usage(format!("unknown dataset id {:?}", opts.dataset)))?;
+    if opts.tensors == 0 {
+        return Err(CliError::Usage("--tensors must be at least 1".to_string()));
+    }
+    let pool: Vec<Arc<CooTensor<f32>>> = (0..opts.tensors as u64)
+        .map(|i| Arc::new(d.generate_with(opts.nnz, d.default_seed().wrapping_add(i))))
+        .collect();
+
+    let svc = tenbench_serve::KernelService::start(
+        serve_cfg.clone(),
+        Box::new(crate::serve_exec::SupervisedExecutor::new(sup_cfg.clone())),
+    );
+    let tally = tenbench_serve::closed_loop(
+        &svc,
+        &pool,
+        &tenbench_serve::StressConfig {
+            duration: opts.duration,
+            concurrency: opts.concurrency,
+            zipf_alpha: opts.alpha,
+            rank: opts.rank,
+            deadline_ms: opts.deadline_ms,
+            seed: d.default_seed(),
+        },
+    );
+    // Snapshot the closed-loop phase before the overload burst pollutes
+    // the latency distribution; the gates read this report.
+    let zipf_report = svc.report();
+    let probe = tenbench_serve::overload_probe(&svc, &pool);
+    let final_report = svc.shutdown();
+
+    let mut out = format!(
+        "serve stress on {} x{} ({} nnz each, alpha {}, {} clients, {:.1}s)\n\n",
+        opts.dataset,
+        opts.tensors,
+        fint(pool[0].nnz() as u64),
+        opts.alpha,
+        opts.concurrency,
+        opts.duration.as_secs_f64(),
+    );
+    out.push_str("zipf phase (closed loop)\n");
+    out.push_str(&format!(
+        "  clients         issued {} ok {} rejected {} (full) + {} (deadline), failed {}\n",
+        tally.issued, tally.ok, tally.rejected_full, tally.rejected_deadline, tally.failed,
+    ));
+    out.push_str(&zipf_report.render());
+    out.push_str("\noverload probe (open burst, tight deadlines)\n");
+    out.push_str(&format!(
+        "  submitted {} -> {} queue-full, {} deadline-shed, {} completed, {} failed\n",
+        probe.submitted,
+        probe.rejected_queue_full,
+        probe.rejected_deadline,
+        probe.completed,
+        probe.failed,
+    ));
+
+    if let Some(path) = &opts.out_json {
+        let json = format!(
+            concat!(
+                "{{\n  \"config\": {{\"dataset\": \"{}\", \"nnz\": {}, \"tensors\": {}, ",
+                "\"duration_s\": {}, \"concurrency\": {}, \"alpha\": {}, \"rank\": {}, ",
+                "\"workers\": {}, \"queue_bound\": {}, \"max_batch\": {}, ",
+                "\"cache_bytes\": {}, \"deadline_ms\": {}}},\n",
+                "  \"zipf_phase\": {{\"clients\": {{\"issued\": {}, \"ok\": {}, ",
+                "\"rejected_full\": {}, \"rejected_deadline\": {}, \"failed\": {}}}, ",
+                "\"service\": {}}},\n",
+                "  \"overload_probe\": {{\"submitted\": {}, \"rejected_queue_full\": {}, ",
+                "\"rejected_deadline\": {}, \"completed\": {}, \"failed\": {}}},\n",
+                "  \"final\": {}\n}}\n"
+            ),
+            opts.dataset,
+            opts.nnz,
+            opts.tensors,
+            obs::json::json_f64(opts.duration.as_secs_f64()),
+            opts.concurrency,
+            obs::json::json_f64(opts.alpha),
+            opts.rank,
+            serve_cfg.workers,
+            serve_cfg.queue_bound,
+            serve_cfg.max_batch,
+            serve_cfg.cache_bytes,
+            opts.deadline_ms,
+            tally.issued,
+            tally.ok,
+            tally.rejected_full,
+            tally.rejected_deadline,
+            tally.failed,
+            zipf_report.to_json(),
+            probe.submitted,
+            probe.rejected_queue_full,
+            probe.rejected_deadline,
+            probe.completed,
+            probe.failed,
+            final_report.to_json(),
+        );
+        // Self-check: the artifact must parse before it reaches disk.
+        obs::json::Value::parse(&json).map_err(|e| {
+            CliError::Usage(format!("internal: emitted BENCH_serve.json invalid: {e}"))
+        })?;
+        std::fs::write(path, &json)?;
+        out.push_str(&format!("\nwrote {}\n", path.display()));
+    }
+
+    if tally.ok == 0 {
+        return Err(CliError::Usage(
+            "stress gate: no request completed in the closed-loop phase".to_string(),
+        ));
+    }
+    let hit = zipf_report.cache.hit_ratio();
+    if hit < opts.min_hit_ratio {
+        return Err(CliError::Usage(format!(
+            "stress gate: cache hit ratio {hit:.3} below the floor of {:.3}",
+            opts.min_hit_ratio,
+        )));
+    }
+    out.push_str(&format!(
+        "hit-ratio gate: {hit:.3} >= {:.3} ok\n",
+        opts.min_hit_ratio
+    ));
+    if let Some(ceiling) = opts.max_p99_ms {
+        if zipf_report.p99_ms > ceiling {
+            return Err(CliError::Usage(format!(
+                "stress gate: closed-loop p99 {:.2} ms above the ceiling of {ceiling:.2} ms",
+                zipf_report.p99_ms,
+            )));
+        }
+        out.push_str(&format!(
+            "p99 gate: {:.2} ms <= {ceiling:.2} ms ok\n",
+            zipf_report.p99_ms
+        ));
+    }
+    if probe.rejected_queue_full == 0 {
+        return Err(CliError::Usage(
+            "stress gate: overload probe saw no typed queue-full rejection — admission \
+             control did not engage"
+                .to_string(),
+        ));
+    }
+    out.push_str(&format!(
+        "overload gate: {} typed queue-full rejections ok\n",
+        probe.rejected_queue_full
+    ));
     Ok(out)
 }
 

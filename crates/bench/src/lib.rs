@@ -13,6 +13,8 @@
 //!   fallback, and output validation for long sweeps.
 //! * [`metrics`] — observability glue: trace/counter capture lifecycle
 //!   and pool-telemetry snapshots merged into reports.
+//! * [`serve_exec`] — plugs the supervisor in as the execution backend of
+//!   the `tenbench-serve` kernel service.
 
 // Index-heavy kernel code deliberately uses explicit loop indices over
 // several parallel arrays; the iterator forms clippy suggests are less
@@ -25,5 +27,6 @@ pub mod cli;
 pub mod data;
 pub mod format;
 pub mod metrics;
+pub mod serve_exec;
 pub mod suite;
 pub mod supervisor;

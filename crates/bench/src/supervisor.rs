@@ -254,13 +254,13 @@ impl RunReport {
             s.push_str(&format!(", \"strategy\": \"{}\"", escape_json(st)));
         }
         if let Some(t) = self.time_s {
-            s.push_str(&format!(", \"time_s\": {t:.6e}"));
+            s.push_str(&format!(", \"time_s\": {}", obs::json::json_f64(t)));
         }
         if let Some(t) = self.validate_s {
-            s.push_str(&format!(", \"validate_s\": {t:.6e}"));
+            s.push_str(&format!(", \"validate_s\": {}", obs::json::json_f64(t)));
         }
         if let Some(c) = self.checksum {
-            s.push_str(&format!(", \"checksum\": {c:.6e}"));
+            s.push_str(&format!(", \"checksum\": {}", obs::json::json_f64(c)));
         }
         s.push_str(", \"attempts\": [");
         for (i, a) in self.attempts.iter().enumerate() {
@@ -273,7 +273,7 @@ impl RunReport {
                 a.outcome.kind()
             ));
             if let AttemptOutcome::Ok { time_s } = a.outcome {
-                s.push_str(&format!(", \"time_s\": {time_s:.6e}"));
+                s.push_str(&format!(", \"time_s\": {}", obs::json::json_f64(time_s)));
             }
             if let Some(d) = a.outcome.detail() {
                 s.push_str(&format!(", \"detail\": \"{}\"", escape_json(&d)));

@@ -1,0 +1,148 @@
+//! Degenerate-tensor battery: every kernel on both formats must handle an
+//! empty (nnz = 0) tensor and a singleton (nnz = 1) tensor without
+//! panicking and without producing non-finite values, and the statistics
+//! and Roofline paths that summarize them must stay finite too. A serving
+//! layer cannot pick its inputs, so "no nonzeros" is an input class, not
+//! an error.
+
+use std::sync::Arc;
+
+use tenbench_bench::suite::{make_factors, make_partner};
+use tenbench_core::coo::CooTensor;
+use tenbench_core::dense::{DenseMatrix, DenseVector};
+use tenbench_core::hicoo::HicooTensor;
+use tenbench_core::kernels::{mttkrp, tew, ts, ttm, ttv, EwOp, Kernel};
+use tenbench_core::shape::Shape;
+
+const RANK: usize = 4;
+const BLOCK_BITS: u8 = 3;
+
+fn empty() -> CooTensor<f32> {
+    CooTensor::empty(Shape::new(vec![8, 8, 8]))
+}
+
+fn singleton() -> CooTensor<f32> {
+    CooTensor::from_entries(Shape::new(vec![8, 8, 8]), vec![(vec![3, 5, 2], 2.5)]).unwrap()
+}
+
+fn assert_finite(label: &str, vals: &[f32]) {
+    for (i, v) in vals.iter().enumerate() {
+        assert!(v.is_finite(), "{label}: non-finite value {v} at {i}");
+    }
+}
+
+/// Run all five kernels on both formats for one degenerate tensor.
+fn exercise(name: &str, x: &CooTensor<f32>) {
+    let hx = HicooTensor::from_coo(x, BLOCK_BITS)
+        .unwrap_or_else(|e| panic!("{name}: hicoo conversion failed: {e}"));
+    let partner = make_partner(x);
+    let hpartner = HicooTensor::from_coo(&partner, BLOCK_BITS).unwrap();
+    let factors = make_factors(x, RANK);
+    let frefs: Vec<&DenseMatrix<f32>> = factors.iter().collect();
+
+    for mode in 0..x.order() {
+        let label = |k: Kernel, f: &str| format!("{name}/{}/{f}/mode{mode}", k.name());
+
+        let y = tew::tew_same_pattern(x, &partner, EwOp::Add).unwrap();
+        assert_eq!(y.nnz(), x.nnz());
+        assert_finite(&label(Kernel::Tew, "coo"), y.vals());
+        let y = tew::tew_hicoo_same_pattern(&hx, &hpartner, EwOp::Add).unwrap();
+        assert_finite(&label(Kernel::Tew, "hicoo"), y.vals());
+
+        let y = ts::ts(x, 1.5, EwOp::Mul).unwrap();
+        assert_finite(&label(Kernel::Ts, "coo"), y.vals());
+        let y = ts::ts_hicoo(&hx, 1.5, EwOp::Mul).unwrap();
+        assert_finite(&label(Kernel::Ts, "hicoo"), y.vals());
+
+        let v = DenseVector::from_fn(x.shape().dim(mode) as usize, |i| i as f32 * 0.5);
+        let y = ttv::ttv(x, &v, mode).unwrap();
+        assert_finite(&label(Kernel::Ttv, "coo"), y.vals());
+
+        let y = ttm::ttm(x, frefs[mode], mode).unwrap();
+        assert_finite(&label(Kernel::Ttm, "coo"), y.vals());
+        let y = ttm::ttm_hicoo_sched(&hx, frefs[mode], mode).unwrap();
+        assert_finite(&label(Kernel::Ttm, "hicoo"), y.vals());
+
+        let y = mttkrp::mttkrp_atomic(x, &frefs, mode).unwrap();
+        assert_finite(&label(Kernel::Mttkrp, "coo"), y.data());
+        let y = mttkrp::mttkrp_hicoo_sched(&hx, &frefs, mode).unwrap();
+        assert_finite(&label(Kernel::Mttkrp, "hicoo"), y.data());
+    }
+}
+
+#[test]
+fn empty_tensor_runs_every_kernel_on_both_formats() {
+    exercise("empty", &empty());
+}
+
+#[test]
+fn singleton_tensor_runs_every_kernel_on_both_formats() {
+    exercise("singleton", &singleton());
+}
+
+#[test]
+fn empty_tensor_statistics_stay_finite() {
+    let x = empty();
+    let hx = HicooTensor::from_coo(&x, BLOCK_BITS).unwrap();
+    assert_eq!(hx.num_blocks(), 0);
+    // The mean over zero blocks is defined as 0, not 0/0.
+    assert!(hx.mean_nnz_per_block().is_finite());
+    let stats = tenbench_gen::TensorStats::compute(&x, BLOCK_BITS);
+    assert!(stats.density.is_finite());
+    assert!(stats.mean_nnz_per_block.is_finite());
+}
+
+#[test]
+fn roofline_annotation_of_a_zero_work_cell_stays_finite() {
+    // A shed or empty cell reports zero flops and zero bytes; the model
+    // must annotate it with finite figures (OI defined as 0), because
+    // these numbers flow into hand-rolled JSON.
+    let model = tenbench_roofline::Roofline::from_platform(&tenbench_roofline::PLATFORMS[0]);
+    let z = model.annotate(0, 0, 0.0);
+    assert!(z.oi.is_finite(), "oi = {}", z.oi);
+    assert!(z.bound_gflops.is_finite());
+    assert!(z.pct_of_roof.is_finite());
+    let z = model.annotate(100, 0, 0.0);
+    assert!(z.oi.is_finite(), "oi = {}", z.oi);
+}
+
+#[test]
+fn degenerate_tensors_serve_through_the_service() {
+    use tenbench_serve::{DirectExecutor, FormatKind, KernelService, Request, ServeConfig};
+    let svc = KernelService::start(
+        ServeConfig {
+            workers: 1,
+            block_bits: BLOCK_BITS,
+            ..ServeConfig::default()
+        },
+        Box::new(DirectExecutor),
+    );
+    for x in [Arc::new(empty()), Arc::new(singleton())] {
+        for kernel in Kernel::ALL {
+            for format in [FormatKind::Coo, FormatKind::Hicoo] {
+                let r = svc
+                    .submit(Request {
+                        kernel,
+                        format,
+                        mode: 0,
+                        rank: RANK,
+                        tensor: x.clone(),
+                        deadline: None,
+                    })
+                    .expect("admitted")
+                    .wait()
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "{}/{} on nnz={}: {e}",
+                            kernel.name(),
+                            format.as_str(),
+                            x.nnz()
+                        )
+                    });
+                assert!(r.digest.is_finite());
+            }
+        }
+    }
+    let report = svc.shutdown();
+    assert_eq!(report.failed, 0);
+}

@@ -230,6 +230,43 @@ impl<S: Scalar> CooTensor<S> {
         m * (4 * self.order() as u64 + S::BYTES)
     }
 
+    /// A cheap structural fingerprint for cache keying: FNV-1a over the
+    /// shape, nnz, and a strided sample of up to 1024 coordinates and
+    /// value bit patterns.
+    ///
+    /// Two tensors with the same fingerprint are treated as
+    /// interchangeable by the serving layer's format/schedule cache, so
+    /// the hash mixes values (not just the pattern); sampling keeps it
+    /// O(1) regardless of nnz. This is content-addressed, unlike the
+    /// schedule cache in [`crate::sched`], which keys on buffer identity —
+    /// holding cached tensors behind stable `Arc`s makes the two compose.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |w: u64| {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for &d in self.shape.dims() {
+            mix(d as u64);
+        }
+        let m = self.nnz();
+        mix(m as u64);
+        let stride = (m / 1024).max(1);
+        let mut at = 0;
+        while at < m {
+            for inds in &self.inds {
+                mix(inds[at] as u64);
+            }
+            mix(self.vals[at].to_f64().to_bits());
+            at += stride;
+        }
+        h
+    }
+
     /// Frobenius norm (`sqrt` of the sum of squared values) — zeros outside
     /// the pattern contribute nothing, so this is exact for sparse tensors.
     pub fn frobenius_norm(&self) -> S {

@@ -61,7 +61,17 @@ impl ZipfSampler {
 
     /// Draw one 0-based sample in `[0, n)`.
     pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        self.sample(rng) - 1
+        let k = self.sample(rng);
+        // `sample` clamps into [1, n], so `k - 1` cannot underflow — but
+        // that invariant lives in numeric code three helpers away. Assert
+        // it in debug builds and saturate in release so a future clamp
+        // regression yields index 0, not a silent huge index.
+        debug_assert!(
+            (1..=self.n).contains(&k),
+            "Zipf sample {k} outside [1, {}]",
+            self.n
+        );
+        k.saturating_sub(1).min(self.n - 1)
     }
 }
 
@@ -176,5 +186,29 @@ mod tests {
     #[should_panic(expected = "nonempty")]
     fn zero_support_panics() {
         let _ = ZipfSampler::new(0, 1.5);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(64))]
+
+        // The serving stress generator indexes a tensor pool with
+        // `sample_index`; pin the 1-based/0-based invariants across the
+        // whole (n, alpha, seed) space, including the extreme alphas where
+        // the rejection-inversion arithmetic is least comfortable.
+        #[test]
+        fn sample_respects_bounds_across_seeds_and_alphas(
+            n in 1u64..5000,
+            alpha_tenths in 1u64..60,
+            seed in 0u64..1_000_000,
+        ) {
+            let z = ZipfSampler::new(n, alpha_tenths as f64 / 10.0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                let k = z.sample(&mut rng);
+                proptest::prop_assert!((1..=n).contains(&k), "sample {k} out of [1, {n}]");
+                let i = z.sample_index(&mut rng);
+                proptest::prop_assert!(i < n, "index {i} out of [0, {n})");
+            }
+        }
     }
 }

@@ -299,6 +299,32 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// Render a float as a JSON number token.
+///
+/// JSON has no representation for `NaN` or the infinities, so every
+/// hand-rolled writer in the workspace routes floats through here (or
+/// [`json_f64_fixed`]): non-finite values become `null`, keeping the row
+/// present with an explicit "no value" instead of producing a document
+/// this module's own parser rejects. Finite values use `{:e}` notation,
+/// which is valid JSON and round-trips exactly.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// [`json_f64`] with fixed decimal places for writers that want aligned
+/// human-readable output (e.g. chrome-trace microsecond timestamps).
+pub fn json_f64_fixed(v: f64, decimals: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.decimals$}")
+    } else {
+        "null".to_string()
+    }
+}
+
 /// Escape a string for embedding in a JSON string literal.
 pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -412,4 +438,28 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeSummary, String> {
         threads: stacks.len(),
         max_depth,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_f64_round_trips_finite_values() {
+        for v in [0.0, -0.0, 1.0, -1.5, 1e-300, 1e300, 0.1, 123456.789] {
+            let tok = json_f64(v);
+            let parsed = Value::parse(&tok).expect("token parses");
+            assert_eq!(parsed.as_f64(), Some(v), "{tok}");
+        }
+    }
+
+    #[test]
+    fn json_f64_maps_non_finite_to_null() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(json_f64(v), "null");
+            assert_eq!(json_f64_fixed(v, 3), "null");
+            assert_eq!(Value::parse(&json_f64(v)), Ok(Value::Null));
+        }
+        assert_eq!(json_f64_fixed(1.23456, 3), "1.235");
+    }
 }

@@ -161,9 +161,9 @@ impl Trace {
                         push(
                             &mut out,
                             format!(
-                                "{{\"ph\":\"B\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"name\":\"{}\",\"cat\":\"tenbench\"}}",
+                                "{{\"ph\":\"B\",\"pid\":1,\"tid\":{},\"ts\":{},\"name\":\"{}\",\"cat\":\"tenbench\"}}",
                                 t.tid,
-                                ev.ts_ns as f64 / 1000.0,
+                                crate::json::json_f64_fixed(ev.ts_ns as f64 / 1000.0, 3),
                                 escape_json(ev.name)
                             ),
                         );
@@ -174,9 +174,9 @@ impl Trace {
                             push(
                                 &mut out,
                                 format!(
-                                    "{{\"ph\":\"E\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"name\":\"{}\"}}",
+                                    "{{\"ph\":\"E\",\"pid\":1,\"tid\":{},\"ts\":{},\"name\":\"{}\"}}",
                                     t.tid,
-                                    ev.ts_ns as f64 / 1000.0,
+                                    crate::json::json_f64_fixed(ev.ts_ns as f64 / 1000.0, 3),
                                     escape_json(ev.name)
                                 ),
                             );
@@ -188,9 +188,9 @@ impl Trace {
                 push(
                     &mut out,
                     format!(
-                        "{{\"ph\":\"E\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"name\":\"{}\"}}",
+                        "{{\"ph\":\"E\",\"pid\":1,\"tid\":{},\"ts\":{},\"name\":\"{}\"}}",
                         t.tid,
-                        last_ts as f64 / 1000.0,
+                        crate::json::json_f64_fixed(last_ts as f64 / 1000.0, 3),
                         escape_json(name)
                     ),
                 );

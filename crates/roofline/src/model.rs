@@ -128,10 +128,13 @@ impl Roofline {
         } else {
             0.0
         };
+        // OI is undefined with no traffic. Report 0 rather than a
+        // non-finite value: zero-work cells (empty tensors) land here, and
+        // every downstream JSON writer needs finite fields.
         let oi = if bytes > 0 {
             flops as f64 / bytes as f64
         } else {
-            f64::INFINITY
+            0.0
         };
         let bound_gflops = self.attainable_dram(oi);
         let bound_by = if oi * self.ert_dram_gbs() < self.peak_gflops {
@@ -229,10 +232,13 @@ mod tests {
         let c = r.annotate(u64::MAX, 1, 1.0);
         assert_eq!(c.bound_by, "compute");
         assert_eq!(c.bound_gflops, r.peak_gflops);
-        // Degenerate inputs don't divide by zero.
+        // Degenerate inputs don't divide by zero, and every field stays
+        // finite so reports built from zero-work cells remain valid JSON.
         let z = r.annotate(100, 0, 0.0);
         assert_eq!(z.gflops, 0.0);
-        assert!(z.oi.is_infinite());
+        assert_eq!(z.oi, 0.0);
+        assert!(z.bound_gflops.is_finite());
+        assert!(z.pct_of_roof.is_finite());
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! The format/schedule cache: tensor fingerprint → prepared artifacts.
+//!
+//! A serving workload re-submits the same tensors over and over (the
+//! stress generator models this with Zipf-skewed popularity), and the
+//! expensive part of a request is not the kernel — it is the COO→HiCOO
+//! conversion, the factor-matrix allocation, and the mode schedules. This
+//! cache keys those artifacts by [`CooTensor::fingerprint`] so repeated
+//! requests skip preparation entirely.
+//!
+//! Eviction is byte-budgeted LRU: entries are charged for the bytes the
+//! cache materialized (HiCOO storage + factor matrices), and inserting
+//! past the budget evicts from the cold end until the total fits. The
+//! entry just inserted is never evicted, so a single over-budget tensor
+//! still serves its own batch.
+//!
+//! Mode schedules are not stored here directly: `tenbench_core::sched`
+//! already caches them keyed on buffer identity. Holding the converted
+//! tensors behind stable `Arc`s is what makes that cache hit — every
+//! reuse of a `Prepared` entry re-presents the same data pointer.
+
+use std::sync::{Arc, Mutex};
+
+use tenbench_core::coo::CooTensor;
+use tenbench_core::dense::DenseMatrix;
+use tenbench_core::hicoo::HicooTensor;
+
+/// Cache key: content fingerprint plus the preparation parameters that
+/// change the artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`CooTensor::fingerprint`] of the request tensor.
+    pub fingerprint: u64,
+    /// HiCOO block bits used for the conversion.
+    pub block_bits: u8,
+    /// Factor-matrix rank (0 for the rank-free kernels, which then share
+    /// one entry per tensor).
+    pub rank: usize,
+}
+
+/// The artifacts prepared once per cached tensor.
+#[derive(Debug)]
+pub struct Prepared {
+    /// The request tensor, retained so the cache entry owns its inputs.
+    pub coo: Arc<CooTensor<f32>>,
+    /// The HiCOO conversion.
+    pub hicoo: Arc<HicooTensor<f32>>,
+    /// Per-mode factor matrices of the key's rank (empty when rank is 0).
+    pub factors: Arc<Vec<DenseMatrix<f32>>>,
+    /// Bytes this entry charges against the budget (HiCOO + factors; the
+    /// COO `Arc` is shared with the caller and not counted).
+    pub bytes: u64,
+}
+
+/// Counter snapshot for reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to prepare artifacts.
+    pub misses: u64,
+    /// Entries evicted to fit the byte budget.
+    pub evictions: u64,
+    /// Entries resident right now.
+    pub entries: usize,
+    /// Bytes resident right now.
+    pub bytes: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, 0 when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Inner {
+    /// LRU order: coldest at index 0, hottest at the end.
+    entries: Vec<(CacheKey, Arc<Prepared>)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// The keyed LRU cache with byte-budget eviction.
+pub struct PrepCache {
+    budget: u64,
+    inner: Mutex<Inner>,
+}
+
+impl PrepCache {
+    /// A cache evicting past `budget_bytes` of materialized artifacts.
+    pub fn new(budget_bytes: u64) -> Self {
+        PrepCache {
+            budget: budget_bytes,
+            inner: Mutex::new(Inner {
+                entries: Vec::new(),
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget
+    }
+
+    /// Look up `key`, preparing (HiCOO conversion + factors) on a miss.
+    /// Returns the entry and whether it was a hit. Preparation runs
+    /// outside the lock so a slow conversion does not stall hits.
+    pub fn get_or_prepare(
+        &self,
+        key: CacheKey,
+        coo: &Arc<CooTensor<f32>>,
+    ) -> Result<(Arc<Prepared>, bool), String> {
+        if let Some(found) = self.touch(key) {
+            return Ok((found, true));
+        }
+        let _span = tenbench_obs::span!("serve.prepare");
+        let hicoo = Arc::new(
+            HicooTensor::from_coo(coo.as_ref(), key.block_bits)
+                .map_err(|e| format!("conversion: {e}"))?,
+        );
+        let factors: Vec<DenseMatrix<f32>> = if key.rank == 0 {
+            Vec::new()
+        } else {
+            (0..coo.order())
+                .map(|m| {
+                    DenseMatrix::from_fn(coo.shape().dim(m) as usize, key.rank, |i, j| {
+                        (((i * 31 + j * 17 + m * 7) % 1000) as f32) * 1e-3
+                    })
+                })
+                .collect()
+        };
+        let bytes = hicoo.storage_bytes() + factors.iter().map(|f| f.storage_bytes()).sum::<u64>();
+        let prepared = Arc::new(Prepared {
+            coo: coo.clone(),
+            hicoo,
+            factors: Arc::new(factors),
+            bytes,
+        });
+        let mut g = self.inner.lock().unwrap();
+        // Another worker may have prepared the same key while we did; use
+        // the resident entry so schedule caching keys on one buffer.
+        if let Some(at) = g.entries.iter().position(|(k, _)| *k == key) {
+            let entry = g.entries.remove(at);
+            let found = entry.1.clone();
+            g.entries.push(entry);
+            g.misses += 1;
+            return Ok((found, false));
+        }
+        g.misses += 1;
+        g.entries.push((key, prepared.clone()));
+        // Evict coldest-first until the budget fits, sparing the entry we
+        // just inserted.
+        while g.entries.len() > 1
+            && g.entries.iter().map(|(_, p)| p.bytes).sum::<u64>() > self.budget
+        {
+            g.entries.remove(0);
+            g.evictions += 1;
+        }
+        Ok((prepared, false))
+    }
+
+    fn touch(&self, key: CacheKey) -> Option<Arc<Prepared>> {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(at) = g.entries.iter().position(|(k, _)| *k == key) {
+            let entry = g.entries.remove(at);
+            let found = entry.1.clone();
+            g.entries.push(entry);
+            g.hits += 1;
+            Some(found)
+        } else {
+            None
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let g = self.inner.lock().unwrap();
+        CacheStats {
+            hits: g.hits,
+            misses: g.misses,
+            evictions: g.evictions,
+            entries: g.entries.len(),
+            bytes: g.entries.iter().map(|(_, p)| p.bytes).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tenbench_core::shape::Shape;
+
+    fn tensor(seed: u32) -> Arc<CooTensor<f32>> {
+        Arc::new(
+            CooTensor::from_entries(
+                Shape::new(vec![32, 32, 32]),
+                (0..300u32)
+                    .map(|i| {
+                        (
+                            vec![(i * 7 + seed) % 32, (i * 13) % 32, (i * 29 + seed) % 32],
+                            (i + seed) as f32,
+                        )
+                    })
+                    .collect(),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn key_of(x: &CooTensor<f32>, rank: usize) -> CacheKey {
+        CacheKey {
+            fingerprint: x.fingerprint(),
+            block_bits: 4,
+            rank,
+        }
+    }
+
+    #[test]
+    fn second_lookup_hits_and_returns_same_buffers() {
+        let cache = PrepCache::new(64 << 20);
+        let x = tensor(1);
+        let (a, hit_a) = cache.get_or_prepare(key_of(&x, 8), &x).unwrap();
+        let (b, hit_b) = cache.get_or_prepare(key_of(&x, 8), &x).unwrap();
+        assert!(!hit_a);
+        assert!(hit_b);
+        // Identical Arc — this is what keys the core schedule cache.
+        assert!(Arc::ptr_eq(&a.hicoo, &b.hicoo));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru() {
+        let x1 = tensor(1);
+        let x2 = tensor(2);
+        let x3 = tensor(3);
+        let one_entry = {
+            let probe = PrepCache::new(u64::MAX);
+            probe.get_or_prepare(key_of(&x1, 4), &x1).unwrap();
+            probe.stats().bytes
+        };
+        // Room for two entries, not three.
+        let cache = PrepCache::new(one_entry * 2 + one_entry / 2);
+        cache.get_or_prepare(key_of(&x1, 4), &x1).unwrap();
+        cache.get_or_prepare(key_of(&x2, 4), &x2).unwrap();
+        cache.get_or_prepare(key_of(&x3, 4), &x3).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        // x1 was coldest; re-fetching it is a miss, x3 is still a hit.
+        let (_, hit3) = cache.get_or_prepare(key_of(&x3, 4), &x3).unwrap();
+        assert!(hit3);
+        let (_, hit1) = cache.get_or_prepare(key_of(&x1, 4), &x1).unwrap();
+        assert!(!hit1);
+    }
+
+    #[test]
+    fn oversized_entry_still_serves() {
+        let cache = PrepCache::new(1);
+        let x = tensor(9);
+        let (p, _) = cache.get_or_prepare(key_of(&x, 2), &x).unwrap();
+        assert!(p.bytes > 1);
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! The serving layer: a long-running in-process kernel service.
+//!
+//! PASTA frames the five sparse tensor kernels as repeatedly-invoked
+//! building blocks of higher-level methods. This crate composes the
+//! pieces PRs 1–4 built — scheduled kernels, the supervised executor, the
+//! persistent pool, and the obs layer — into the shape such an invoker
+//! actually needs: a [`service::KernelService`] that accepts kernel
+//! requests (kernel × format × mode × rank), batches and caches them, and
+//! answers with results plus per-request metrics.
+//!
+//! Three mechanisms do the work:
+//!
+//! - **Admission control** ([`queue`]): a bounded MPMC queue. A full
+//!   queue rejects at submit with a typed error ([`service::RejectReason`])
+//!   instead of queueing unboundedly, and requests whose deadline passed
+//!   while queued are shed at dequeue.
+//! - **Format/schedule caching** ([`cache`]): an LRU keyed by tensor
+//!   fingerprint that holds the HiCOO conversion and factor matrices,
+//!   evicted by byte budget. Cached tensors live behind stable `Arc`s, so
+//!   the identity-keyed mode-schedule cache in `tenbench_core::sched`
+//!   hits on every reuse too.
+//! - **Micro-batching** ([`service`]): same-tensor/same-kernel requests
+//!   waiting in the queue coalesce into one supervised execution whose
+//!   result fans back out to every waiter.
+//!
+//! Execution itself goes through the [`service::Executor`] trait: the
+//! bench crate plugs in the watchdogged/validated supervisor, and
+//! [`service::DirectExecutor`] runs kernels inline for tests. The load
+//! generator in [`stress`] drives the service closed-loop with
+//! Zipf-skewed tensor popularity and probes overload behaviour.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod queue;
+pub mod service;
+pub mod stress;
+
+pub use cache::{CacheKey, CacheStats, PrepCache, Prepared};
+pub use service::{
+    execute_direct, BatchJob, DirectExecutor, ExecOutcome, Executor, FormatKind, KernelService,
+    RejectReason, Request, Response, ServeConfig, ServeError, ServeReport, Ticket,
+};
+pub use stress::{closed_loop, overload_probe, ClientTally, OverloadProbe, StressConfig};

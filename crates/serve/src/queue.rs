@@ -1,0 +1,169 @@
+//! A bounded MPMC queue with admission control.
+//!
+//! The service's backpressure policy lives here: producers never block and
+//! never queue unboundedly — [`Bounded::try_push`] fails fast with
+//! [`PushError::Full`] when the queue holds `bound` items, and the caller
+//! turns that into a typed rejection. Consumers block in [`Bounded::pop`]
+//! until an item or shutdown arrives, and can claim a same-key batch with
+//! [`Bounded::drain_where`]. After [`Bounded::close`], pops drain what is
+//! left and then return `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue already held its bound of items.
+    Full,
+    /// The queue was closed by [`Bounded::close`].
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    max_depth: usize,
+}
+
+/// The bounded MPMC queue. `T` is typically the service's pending-request
+/// record.
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    bound: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `bound` items (at least 1).
+    pub fn new(bound: usize) -> Self {
+        Bounded {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+                max_depth: 0,
+            }),
+            not_empty: Condvar::new(),
+            bound: bound.max(1),
+        }
+    }
+
+    /// The admission bound.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// High-water mark of the queue depth since construction.
+    pub fn max_depth(&self) -> usize {
+        self.inner.lock().unwrap().max_depth
+    }
+
+    /// Try to enqueue. Returns the depth after the push, or the item back
+    /// with the reason it was refused.
+    pub fn try_push(&self, item: T) -> Result<usize, (T, PushError)> {
+        let mut g = self.inner.lock().unwrap();
+        if g.closed {
+            return Err((item, PushError::Closed));
+        }
+        if g.items.len() >= self.bound {
+            return Err((item, PushError::Full));
+        }
+        g.items.push_back(item);
+        let depth = g.items.len();
+        g.max_depth = g.max_depth.max(depth);
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Block until an item is available and dequeue it. Returns `None`
+    /// once the queue is closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.not_empty.wait(g).unwrap();
+        }
+    }
+
+    /// Remove up to `max` queued items matching `pred`, preserving the
+    /// order of everything else. Never blocks — this is how a worker
+    /// claims batch-mates for the request it just popped.
+    pub fn drain_where(&self, max: usize, mut pred: impl FnMut(&T) -> bool) -> Vec<T> {
+        let mut g = self.inner.lock().unwrap();
+        let mut taken = Vec::new();
+        let mut kept = VecDeque::with_capacity(g.items.len());
+        while let Some(item) = g.items.pop_front() {
+            if taken.len() < max && pred(&item) {
+                taken.push(item);
+            } else {
+                kept.push_back(item);
+            }
+        }
+        g.items = kept;
+        taken
+    }
+
+    /// Close the queue: future pushes fail with [`PushError::Closed`];
+    /// consumers drain the remaining items and then observe `None`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bound_is_enforced_and_typed() {
+        let q = Bounded::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err((3, PushError::Full)));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.max_depth(), 2);
+        q.close();
+        assert_eq!(q.try_push(4), Err((4, PushError::Closed)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn drain_where_takes_matches_in_order() {
+        let q = Bounded::new(10);
+        for i in 0..6 {
+            q.try_push(i).unwrap();
+        }
+        let even = q.drain_where(2, |x| x % 2 == 0);
+        assert_eq!(even, vec![0, 2]);
+        // 4 stayed queued because max was 2; order preserved.
+        assert_eq!(q.depth(), 4);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(4));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(Bounded::<u32>::new(4));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+}

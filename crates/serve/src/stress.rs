@@ -1,0 +1,302 @@
+//! Load generation for the service: a closed-loop stress phase with
+//! Zipf-skewed tensor popularity, and an open burst that probes the
+//! admission boundary.
+//!
+//! The closed loop models the serving workload PASTA's kernels sit
+//! inside: a fixed set of client workers, each submitting a request,
+//! waiting for the answer, and immediately submitting the next. Tensor
+//! choice is Zipf-distributed over the pool — a few tensors absorb most
+//! requests — which is exactly the popularity skew the format cache is
+//! built for. The overload probe instead fires a burst far larger than
+//! the queue bound without waiting, to demonstrate that excess load is
+//! refused with typed [`RejectReason::QueueFull`] rejections rather than
+//! queued without bound.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tenbench_core::coo::CooTensor;
+use tenbench_core::kernels::Kernel;
+use tenbench_gen::zipf::ZipfSampler;
+
+use crate::service::{FormatKind, KernelService, RejectReason, Request, ServeError};
+
+/// Knobs for the closed-loop stress phase.
+#[derive(Debug, Clone)]
+pub struct StressConfig {
+    /// How long the phase runs.
+    pub duration: Duration,
+    /// Concurrent closed-loop client workers.
+    pub concurrency: usize,
+    /// Zipf skew of tensor popularity over the pool (larger = more skew).
+    pub zipf_alpha: f64,
+    /// Factor rank for Ttm/Mttkrp requests.
+    pub rank: usize,
+    /// Per-request queue deadline in milliseconds (0 = none).
+    pub deadline_ms: u64,
+    /// Base RNG seed; each worker derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig {
+            duration: Duration::from_secs(5),
+            concurrency: 4,
+            zipf_alpha: 1.1,
+            rank: 16,
+            deadline_ms: 0,
+            seed: 42,
+        }
+    }
+}
+
+/// What the closed-loop clients observed, summed over workers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientTally {
+    /// Requests submitted.
+    pub issued: u64,
+    /// Requests answered successfully.
+    pub ok: u64,
+    /// Typed queue-full rejections at submit.
+    pub rejected_full: u64,
+    /// Typed deadline rejections at dequeue.
+    pub rejected_deadline: u64,
+    /// Requests whose execution failed.
+    pub failed: u64,
+}
+
+impl ClientTally {
+    fn absorb(&mut self, other: ClientTally) {
+        self.issued += other.issued;
+        self.ok += other.ok;
+        self.rejected_full += other.rejected_full;
+        self.rejected_deadline += other.rejected_deadline;
+        self.failed += other.failed;
+    }
+}
+
+const KERNEL_MIX: [Kernel; 5] = [
+    Kernel::Mttkrp,
+    Kernel::Tew,
+    Kernel::Ttv,
+    Kernel::Ts,
+    Kernel::Ttm,
+];
+
+/// Drive the service closed-loop for `cfg.duration` from
+/// `cfg.concurrency` workers, picking tensors Zipf-skewed from `pool`.
+/// Each worker rotates through the kernel mix, alternates COO/HiCOO, and
+/// rotates the product mode, so the whole request space is exercised
+/// while tensor popularity stays skewed.
+pub fn closed_loop(
+    svc: &KernelService,
+    pool: &[Arc<CooTensor<f32>>],
+    cfg: &StressConfig,
+) -> ClientTally {
+    assert!(!pool.is_empty(), "stress needs at least one tensor");
+    let zipf = ZipfSampler::new(pool.len() as u64, cfg.zipf_alpha);
+    let stop = AtomicBool::new(false);
+    let deadline = (cfg.deadline_ms > 0).then(|| Duration::from_millis(cfg.deadline_ms));
+    let mut total = ClientTally::default();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.concurrency.max(1))
+            .map(|w| {
+                let zipf = &zipf;
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(w as u64));
+                    let mut tally = ClientTally::default();
+                    let mut turn = w;
+                    while !stop.load(Ordering::Relaxed) {
+                        let tensor = pool[zipf.sample_index(&mut rng) as usize].clone();
+                        let kernel = KERNEL_MIX[turn % KERNEL_MIX.len()];
+                        let format = if turn % 2 == 0 {
+                            FormatKind::Hicoo
+                        } else {
+                            FormatKind::Coo
+                        };
+                        let mode = turn % tensor.order();
+                        turn += 1;
+                        tally.issued += 1;
+                        let ticket = svc.submit(Request {
+                            kernel,
+                            format,
+                            mode,
+                            rank: cfg.rank,
+                            tensor,
+                            deadline,
+                        });
+                        match ticket.map(|t| t.wait()) {
+                            Ok(Ok(_)) => tally.ok += 1,
+                            Ok(Err(e)) | Err(e) => match e {
+                                ServeError::Rejected(RejectReason::QueueFull { .. }) => {
+                                    tally.rejected_full += 1;
+                                }
+                                ServeError::Rejected(RejectReason::DeadlineExpired { .. }) => {
+                                    tally.rejected_deadline += 1
+                                }
+                                ServeError::Rejected(RejectReason::ShuttingDown) => break,
+                                ServeError::Failed(_) => tally.failed += 1,
+                            },
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            total.absorb(h.join().expect("stress worker"));
+        }
+    });
+    total
+}
+
+/// What the overload burst observed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OverloadProbe {
+    /// Requests fired in the burst.
+    pub submitted: u64,
+    /// Refused at submit with [`RejectReason::QueueFull`].
+    pub rejected_queue_full: u64,
+    /// Shed at dequeue with [`RejectReason::DeadlineExpired`].
+    pub rejected_deadline: u64,
+    /// Admitted and answered successfully.
+    pub completed: u64,
+    /// Admitted but failed in execution.
+    pub failed: u64,
+}
+
+/// Fire a burst of at least 4× the queue bound without waiting between
+/// submissions, each with a tight deadline, and account for every typed
+/// outcome. Overload must surface as `rejected_queue_full > 0` — the
+/// bound, not memory, is the limit.
+pub fn overload_probe(svc: &KernelService, pool: &[Arc<CooTensor<f32>>]) -> OverloadProbe {
+    assert!(!pool.is_empty(), "overload probe needs at least one tensor");
+    let mut probe = OverloadProbe::default();
+    let burst = svc.report().queue_bound * 4 + 8;
+    let t0 = Instant::now();
+    let mut tickets = Vec::new();
+    for i in 0..burst {
+        probe.submitted += 1;
+        let tensor = pool[i % pool.len()].clone();
+        match svc.submit(Request {
+            kernel: KERNEL_MIX[i % KERNEL_MIX.len()],
+            format: FormatKind::Hicoo,
+            mode: i % tensor.order(),
+            rank: 8,
+            tensor,
+            deadline: Some(Duration::from_millis(50)),
+        }) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Rejected(RejectReason::QueueFull { .. })) => {
+                probe.rejected_queue_full += 1;
+            }
+            Err(_) => probe.failed += 1,
+        }
+    }
+    for t in tickets {
+        match t.wait() {
+            Ok(_) => probe.completed += 1,
+            Err(ServeError::Rejected(RejectReason::DeadlineExpired { .. })) => {
+                probe.rejected_deadline += 1;
+            }
+            Err(_) => probe.failed += 1,
+        }
+    }
+    let _ = t0;
+    probe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{DirectExecutor, ServeConfig};
+    use tenbench_core::shape::Shape;
+
+    fn pool(n: usize) -> Vec<Arc<CooTensor<f32>>> {
+        (0..n as u32)
+            .map(|seed| {
+                Arc::new(
+                    CooTensor::from_entries(
+                        Shape::new(vec![20, 20, 20]),
+                        (0..200u32)
+                            .map(|i| {
+                                (
+                                    vec![
+                                        (i * 7 + seed) % 20,
+                                        (i * 13 + seed * 3) % 20,
+                                        (i * 29) % 20,
+                                    ],
+                                    (i % 17) as f32 + 1.0,
+                                )
+                            })
+                            .collect(),
+                    )
+                    .unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn closed_loop_completes_and_hits_the_cache() {
+        let svc = KernelService::start(
+            ServeConfig {
+                workers: 2,
+                block_bits: 4,
+                ..ServeConfig::default()
+            },
+            Box::new(DirectExecutor),
+        );
+        let pool = pool(6);
+        let tally = closed_loop(
+            &svc,
+            &pool,
+            &StressConfig {
+                duration: Duration::from_millis(400),
+                concurrency: 3,
+                ..StressConfig::default()
+            },
+        );
+        assert!(tally.issued > 0);
+        assert!(tally.ok > 0, "{tally:?}");
+        assert_eq!(tally.failed, 0, "{tally:?}");
+        let report = svc.shutdown();
+        // Zipf skew concentrates requests on few tensors → the prepared
+        // formats are overwhelmingly reused.
+        assert!(
+            report.cache.hit_ratio() > 0.5,
+            "hit ratio {:.2}",
+            report.cache.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn overload_probe_sees_typed_queue_full() {
+        let svc = KernelService::start(
+            ServeConfig {
+                workers: 1,
+                queue_bound: 4,
+                max_batch: 1,
+                block_bits: 4,
+                ..ServeConfig::default()
+            },
+            Box::new(DirectExecutor),
+        );
+        let pool = pool(2);
+        let probe = overload_probe(&svc, &pool);
+        assert!(probe.rejected_queue_full > 0, "{probe:?}");
+        assert_eq!(
+            probe.submitted,
+            probe.rejected_queue_full + probe.rejected_deadline + probe.completed + probe.failed
+        );
+        let report = svc.shutdown();
+        assert_eq!(report.rejected_queue_full, probe.rejected_queue_full);
+    }
+}
