@@ -10,11 +10,14 @@
 //!                   [--max-seconds S] [--fallback on|off]
 //! tenbench kernel   --all [file] [--dataset s4] [--nnz N] [--mode N] ...
 //! tenbench ablate-mttkrp [--dataset s4] [--nnz N] [--rank R]
-//!                   [--block-bits B] [--reps K] [--out results.json]
-//!                   [--max-seconds S]
+//!                   [--block-bits B] [--reps K] [--threads 1,2,4,8]
+//!                   [--out results.json] [--max-seconds S]
 //! tenbench convert-bench [--dataset s4] [--nnz N] [--block-bits B]
 //!                   [--threads 1,2,4,8] [--reps K] [--out BENCH_convert.json]
 //!                   [--min-speedup X]
+//! tenbench scale-bench [--dataset s4] [--nnz N] [--rank R] [--block-bits B]
+//!                   [--threads 1,2,4,8] [--reps K] [--out BENCH_scaling.json]
+//!                   [--floors ci/scaling-floor.txt]
 //! tenbench verify   <file> [--block-bits B] [--rank R] [--max-seconds S]
 //! tenbench report   <trace.json>
 //! tenbench obs-overhead [--dataset s4] [--nnz N] [--rank R] [--block-bits B]
@@ -234,6 +237,14 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
             let nnz = get_usize("nnz", 1_000_000)?;
             let rank = get_usize("rank", 16)?;
             let reps = get_usize("reps", 3)?;
+            // Without --threads, a single sweep at the ambient pool size.
+            let threads: Vec<usize> = match opts.get("threads") {
+                Some(v) => v
+                    .split(',')
+                    .map(|t| t.parse().map_err(|_| "bad --threads"))
+                    .collect::<Result<_, _>>()?,
+                None => Vec::new(),
+            };
             Ok(cli::with_obs(&obs_opts, || {
                 cli::ablate_mttkrp(
                     opts.get("dataset").map(String::as_str).unwrap_or("s4"),
@@ -241,6 +252,7 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
                     rank,
                     block_bits,
                     reps,
+                    &threads,
                     opts.get("out").map(PathBuf::from).as_deref(),
                     &supervisor_cfg(),
                 )
@@ -271,6 +283,29 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
                     min_speedup,
                 )
             })?)
+        }
+        Some("scale-bench") => {
+            let threads: Vec<usize> = opts
+                .get("threads")
+                .map(String::as_str)
+                .unwrap_or("1,2,4,8")
+                .split(',')
+                .map(|t| t.parse().map_err(|_| "bad --threads"))
+                .collect::<Result<_, _>>()?;
+            let sb = cli::ScaleBenchOpts {
+                dataset: opts
+                    .get("dataset")
+                    .cloned()
+                    .unwrap_or_else(|| "s4".to_string()),
+                nnz: get_usize("nnz", 1_000_000)?,
+                rank: get_usize("rank", 16)?,
+                block_bits,
+                threads,
+                reps: get_usize("reps", 3)?,
+                out_json: opts.get("out").map(PathBuf::from),
+                floors: opts.get("floors").map(PathBuf::from),
+            };
+            Ok(cli::with_obs(&obs_opts, || cli::scale_bench(&sb))?)
         }
         Some("verify") => {
             let [_, input] = &pos[..] else {
@@ -364,6 +399,6 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
             };
             Ok(cli::stress(&stress_opts, serve_cfg, &supervisor_cfg())?)
         }
-        _ => Err("usage: tenbench <convert|stats|generate|kernel|ablate-mttkrp|convert-bench|verify|report|obs-overhead|serve|stress> ... (see the module docs)".into()),
+        _ => Err("usage: tenbench <convert|stats|generate|kernel|ablate-mttkrp|convert-bench|scale-bench|verify|report|obs-overhead|serve|stress> ... (see the module docs)".into()),
     }
 }

@@ -900,90 +900,124 @@ pub fn verify(
 /// `ablate-mttkrp`: measure every Mttkrp strategy (COO and HiCOO, atomic
 /// and scheduled) on a generated dataset, render a table, and optionally
 /// write the rows as JSON for committed benchmark artifacts.
+#[allow(clippy::too_many_arguments)]
 pub fn ablate_mttkrp(
     dataset: &str,
     nnz: usize,
     rank: usize,
     block_bits: u8,
     reps: usize,
+    threads_list: &[usize],
     out_json: Option<&Path>,
     cfg: &SupervisorConfig,
 ) -> CliResult<String> {
     let d = tenbench_gen::registry::find(dataset)
         .ok_or_else(|| CliError::Usage(format!("unknown dataset id {dataset:?}")))?;
     let x = d.generate_with(nnz, d.default_seed());
-    let rows = crate::suite::run_mttkrp_ablation_supervised(&x, rank, block_bits, reps, cfg);
-    let atomic_hicoo = rows
-        .iter()
-        .find(|r| r.name == "hicoo/atomic")
-        .map(|r| r.time_s)
-        .unwrap_or(0.0);
-    let atomic_coo = rows
-        .iter()
-        .find(|r| r.name == "coo/atomic")
-        .map(|r| r.time_s)
-        .unwrap_or(0.0);
-    let speedup = |r: &crate::suite::AblationRow| -> String {
-        let base = if r.name.starts_with("hicoo") {
-            atomic_hicoo
-        } else {
-            atomic_coo
-        };
-        let s = base / r.time_s;
-        if s.is_finite() {
-            format!("{s:.2}x")
-        } else {
-            "-".to_string()
-        }
+
+    // One supervised sweep per requested pool size; an empty list keeps
+    // the single-sweep behavior at the ambient pool size.
+    let sweeps: Vec<Option<usize>> = if threads_list.is_empty() {
+        vec![None]
+    } else {
+        threads_list.iter().map(|&t| Some(t)).collect()
     };
 
-    let mut tab = TextTable::new(["Strategy", "Time (s)", "Melem/s", "vs atomic", "Status"]);
-    for r in &rows {
-        tab.row([
-            r.name.clone(),
-            if r.time_s.is_finite() {
-                fnum(r.time_s)
-            } else {
-                "-".to_string()
-            },
-            fnum(r.melem_s),
-            speedup(r),
-            r.status.to_string(),
-        ]);
-    }
     let mut out = format!(
-        "Mttkrp scheduling ablation on {dataset} ({}, {} nnz, R = {rank}, B = {}, {} threads)\n",
+        "Mttkrp scheduling ablation on {dataset} ({}, {} nnz, R = {rank}, B = {})\n",
         x.shape(),
         fint(x.nnz() as u64),
         1u32 << block_bits,
-        tenbench_core::par::current_threads(),
     );
-    out.push_str(&tab.render());
-
-    if let Some(path) = out_json {
-        let mut json = String::from("{\n");
-        json.push_str(&format!(
-            "  \"dataset\": \"{dataset}\",\n  \"shape\": \"{}\",\n  \"nnz\": {},\n  \"rank\": {rank},\n  \"block_bits\": {block_bits},\n  \"threads\": {},\n  \"reps\": {reps},\n",
-            x.shape(),
-            x.nnz(),
-            tenbench_core::par::current_threads(),
-        ));
-        json.push_str("  \"rows\": [\n");
-        for (i, r) in rows.iter().enumerate() {
+    let mut measured: Vec<(usize, Vec<crate::suite::AblationRow>)> = Vec::new();
+    for threads in sweeps {
+        let rows = crate::suite::run_mttkrp_ablation_supervised_at(
+            &x, rank, block_bits, reps, threads, cfg,
+        );
+        let shown = threads.unwrap_or_else(tenbench_core::par::current_threads);
+        let atomic_hicoo = rows
+            .iter()
+            .find(|r| r.name == "hicoo/atomic")
+            .map(|r| r.time_s)
+            .unwrap_or(0.0);
+        let atomic_coo = rows
+            .iter()
+            .find(|r| r.name == "coo/atomic")
+            .map(|r| r.time_s)
+            .unwrap_or(0.0);
+        let speedup = |r: &crate::suite::AblationRow| -> String {
             let base = if r.name.starts_with("hicoo") {
                 atomic_hicoo
             } else {
                 atomic_coo
             };
             let s = base / r.time_s;
+            if s.is_finite() {
+                format!("{s:.2}x")
+            } else {
+                "-".to_string()
+            }
+        };
+        let mut tab = TextTable::new(["Strategy", "Time (s)", "Melem/s", "vs atomic", "Status"]);
+        for r in &rows {
+            tab.row([
+                r.name.clone(),
+                if r.time_s.is_finite() {
+                    fnum(r.time_s)
+                } else {
+                    "-".to_string()
+                },
+                fnum(r.melem_s),
+                speedup(r),
+                r.status.to_string(),
+            ]);
+        }
+        out.push_str(&format!("-- {shown} threads --\n"));
+        out.push_str(&tab.render());
+        measured.push((shown, rows));
+    }
+
+    if let Some(path) = out_json {
+        let mut json = String::from("{\n");
+        json.push_str(&format!(
+            "  \"dataset\": \"{dataset}\",\n  \"shape\": \"{}\",\n  \"nnz\": {},\n  \"rank\": {rank},\n  \"block_bits\": {block_bits},\n  \"reps\": {reps},\n  \"host_cpus\": {},\n",
+            x.shape(),
+            x.nnz(),
+            host_cpus(),
+        ));
+        json.push_str("  \"sweeps\": [\n");
+        for (si, (threads, rows)) in measured.iter().enumerate() {
+            let atomic_hicoo = rows
+                .iter()
+                .find(|r| r.name == "hicoo/atomic")
+                .map(|r| r.time_s)
+                .unwrap_or(0.0);
+            let atomic_coo = rows
+                .iter()
+                .find(|r| r.name == "coo/atomic")
+                .map(|r| r.time_s)
+                .unwrap_or(0.0);
+            json.push_str(&format!("    {{\"threads\": {threads}, \"rows\": [\n"));
+            for (i, r) in rows.iter().enumerate() {
+                let base = if r.name.starts_with("hicoo") {
+                    atomic_hicoo
+                } else {
+                    atomic_coo
+                };
+                let s = base / r.time_s;
+                json.push_str(&format!(
+                    "      {{\"name\": \"{}\", \"time_s\": {}, \"melem_s\": {}, \"speedup_vs_atomic\": {}, \"status\": \"{}\"}}{}\n",
+                    r.name,
+                    obs::json::json_f64(r.time_s),
+                    obs::json::json_f64_fixed(r.melem_s, 3),
+                    obs::json::json_f64_fixed(s, 3),
+                    r.status.label(),
+                    if i + 1 < rows.len() { "," } else { "" }
+                ));
+            }
             json.push_str(&format!(
-                "    {{\"name\": \"{}\", \"time_s\": {}, \"melem_s\": {}, \"speedup_vs_atomic\": {}, \"status\": \"{}\"}}{}\n",
-                r.name,
-                obs::json::json_f64(r.time_s),
-                obs::json::json_f64_fixed(r.melem_s, 3),
-                obs::json::json_f64_fixed(s, 3),
-                r.status.label(),
-                if i + 1 < rows.len() { "," } else { "" }
+                "    ]}}{}\n",
+                if si + 1 < measured.len() { "," } else { "" }
             ));
         }
         json.push_str("  ]\n}\n");
@@ -1140,6 +1174,337 @@ pub fn convert_bench(
         out.push_str(&format!(
             "speedup gate: {final_speedup:.2}x >= {floor:.2}x ok\n"
         ));
+    }
+    Ok(out)
+}
+
+/// One measured cell of the multicore scaling sweep.
+struct ScaleCell {
+    bench: &'static str,
+    threads: usize,
+    time_s: f64,
+    self_speedup: f64,
+    busy_frac: f64,
+    park_frac: f64,
+    steal_frac: f64,
+    chunks: u64,
+}
+
+/// Options for [`scale_bench`].
+pub struct ScaleBenchOpts {
+    /// Dataset registry id to generate.
+    pub dataset: String,
+    /// Target nonzero count.
+    pub nnz: usize,
+    /// Factor-matrix rank for Mttkrp/Ttm.
+    pub rank: usize,
+    /// HiCOO block bits.
+    pub block_bits: u8,
+    /// Pool sizes to sweep (sorted and deduplicated before measuring).
+    pub threads: Vec<usize>,
+    /// Timed repetitions per cell (best-of).
+    pub reps: usize,
+    /// Where to write `BENCH_scaling.json`, if anywhere.
+    pub out_json: Option<PathBuf>,
+    /// Scaling-floor file to enforce, if any.
+    pub floors: Option<PathBuf>,
+}
+
+/// Logical CPUs on this host. Scaling floors above this count are
+/// unenforceable — wall-clock self-speedup past the physical core count is
+/// not a real measurement — so the gate reports them as skipped.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parse a scaling-floor file: one `<bench>@<threads> <min_self_speedup>`
+/// per line, `#` comments. Keys without an `@` belong to other consumers
+/// of the same file (the conversion-bench single-point gate reads its
+/// floor from here too) and are ignored.
+fn parse_scaling_floors(path: &Path) -> CliResult<Vec<(String, usize, f64)>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut floors = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bad = |what: &str| {
+            CliError::Usage(format!(
+                "{}:{}: {what}: {raw:?}",
+                path.display(),
+                lineno + 1
+            ))
+        };
+        let mut it = line.split_whitespace();
+        let (Some(key), Some(val)) = (it.next(), it.next()) else {
+            return Err(bad("expected `<bench>@<threads> <floor>`"));
+        };
+        let Some((bench, t)) = key.split_once('@') else {
+            continue;
+        };
+        let t: usize = t.parse().map_err(|_| bad("bad thread count"))?;
+        let floor: f64 = val.parse().map_err(|_| bad("bad floor"))?;
+        floors.push((bench.to_string(), t, floor));
+    }
+    Ok(floors)
+}
+
+/// `scale-bench`: sweep every kernel and the conversion pipeline across
+/// thread counts and report per-cell wall time, self-speedup (vs the
+/// smallest measured thread count), and pool telemetry (busy/park ratio
+/// and steal fraction over the measured reps). Optionally writes
+/// `BENCH_scaling.json` (with a `host_cpus` field so downstream gates can
+/// tell real flat curves from core-starved hosts) and enforces
+/// self-speedup floors from a `ci/scaling-floor.txt`-style file; floors
+/// whose thread count exceeds the host's cores are reported as skipped.
+pub fn scale_bench(opts: &ScaleBenchOpts) -> CliResult<String> {
+    let d = tenbench_gen::registry::find(&opts.dataset)
+        .ok_or_else(|| CliError::Usage(format!("unknown dataset id {:?}", opts.dataset)))?;
+    let mut threads = opts.threads.clone();
+    threads.sort_unstable();
+    threads.dedup();
+    if threads.is_empty() || threads[0] == 0 {
+        return Err(CliError::Usage(
+            "--threads must be a non-empty list of positive counts".to_string(),
+        ));
+    }
+    let reps = opts.reps.max(1);
+    let rank = opts.rank;
+    let block_bits = opts.block_bits;
+    let mode = 0usize;
+    let x = d.generate_with(opts.nnz, d.default_seed());
+
+    // Inputs shared by every cell, built once and untimed.
+    let y = make_partner(&x);
+    let factors = make_factors(&x, rank);
+    let frefs: Vec<&DenseMatrix<f32>> = factors.iter().collect();
+    let v = DenseVector::constant(x.shape().dim(mode) as usize, 1.0f32);
+    let u = DenseMatrix::constant(x.shape().dim(mode) as usize, rank, 0.5f32);
+    let mut xm = x.clone();
+    let fp = xm.fibers(mode)?;
+    let hx = HicooTensor::from_coo(&x, block_bits)?;
+
+    // Each bench does its own untimed setup (e.g. re-cloning the tensor
+    // the conversion pipeline is about to sort) and returns the wall
+    // seconds of the timed section alone.
+    type Bench<'a> = (&'static str, Box<dyn FnMut() -> CliResult<f64> + Send + 'a>);
+    let mut benches: Vec<Bench<'_>> = vec![
+        (
+            "convert",
+            Box::new(|| {
+                let mut c = x.clone();
+                let t0 = Instant::now();
+                c.sort_morton_with(block_bits, SortAlgo::Radix);
+                let h = HicooTensor::from_coo_inplace(&mut c, block_bits)?;
+                std::hint::black_box(h.num_blocks());
+                Ok(t0.elapsed().as_secs_f64())
+            }),
+        ),
+        (
+            "tew",
+            Box::new(|| {
+                let t0 = Instant::now();
+                std::hint::black_box(tew::tew_same_pattern(&x, &y, EwOp::Add)?);
+                Ok(t0.elapsed().as_secs_f64())
+            }),
+        ),
+        (
+            "ts",
+            Box::new(|| {
+                let t0 = Instant::now();
+                std::hint::black_box(ts::ts(&x, 1.01, EwOp::Mul)?);
+                Ok(t0.elapsed().as_secs_f64())
+            }),
+        ),
+        (
+            "ttv",
+            Box::new(|| {
+                let t0 = Instant::now();
+                std::hint::black_box(ttv::ttv_prepared(&xm, &fp, &v, Default::default())?);
+                Ok(t0.elapsed().as_secs_f64())
+            }),
+        ),
+        (
+            "ttm",
+            Box::new(|| {
+                let t0 = Instant::now();
+                std::hint::black_box(ttm::ttm_prepared(&xm, &fp, &u, Default::default())?);
+                Ok(t0.elapsed().as_secs_f64())
+            }),
+        ),
+        (
+            "mttkrp_atomic",
+            Box::new(|| {
+                let t0 = Instant::now();
+                std::hint::black_box(mttkrp::mttkrp_with(
+                    &x,
+                    &frefs,
+                    mode,
+                    mttkrp::MttkrpStrategy::Atomic,
+                )?);
+                Ok(t0.elapsed().as_secs_f64())
+            }),
+        ),
+        (
+            "mttkrp_sched",
+            Box::new(|| {
+                let t0 = Instant::now();
+                std::hint::black_box(mttkrp::mttkrp_with(
+                    &x,
+                    &frefs,
+                    mode,
+                    mttkrp::MttkrpStrategy::Scheduled,
+                )?);
+                Ok(t0.elapsed().as_secs_f64())
+            }),
+        ),
+        (
+            "mttkrp_hicoo_sched",
+            Box::new(|| {
+                let t0 = Instant::now();
+                std::hint::black_box(mttkrp::mttkrp_hicoo_sched(&hx, &frefs, mode)?);
+                Ok(t0.elapsed().as_secs_f64())
+            }),
+        ),
+    ];
+
+    let mut cells: Vec<ScaleCell> = Vec::new();
+    for (name, run) in benches.iter_mut() {
+        let mut base: Option<f64> = None;
+        for &t in &threads {
+            let (time_s, stats) = tenbench_core::par::with_threads(t, || -> CliResult<_> {
+                // Warm-up rep: builds this thread count's schedules, warms
+                // the pool and scratch, and prefaults outputs — all
+                // outside the telemetry window.
+                run()?;
+                rayon::reset_pool_stats();
+                let prev = rayon::set_pool_telemetry(true);
+                let mut best = f64::INFINITY;
+                let mut failed = None;
+                for _ in 0..reps {
+                    match run() {
+                        Ok(s) => best = best.min(s),
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+                rayon::set_pool_telemetry(prev);
+                if let Some(e) = failed {
+                    return Err(e);
+                }
+                Ok((best, rayon::pool_stats()))
+            })?;
+            let busy: u64 =
+                stats.workers.iter().map(|w| w.busy_ns).sum::<u64>() + stats.caller.busy_ns;
+            let park: u64 = stats.workers.iter().map(|w| w.park_ns).sum();
+            let base_s = *base.get_or_insert(time_s);
+            cells.push(ScaleCell {
+                bench: name,
+                threads: t,
+                time_s,
+                self_speedup: base_s / time_s,
+                busy_frac: busy as f64 / (busy + park).max(1) as f64,
+                park_frac: park as f64 / (busy + park).max(1) as f64,
+                steal_frac: stats.chunks_stolen as f64 / stats.chunks_total.max(1) as f64,
+                chunks: stats.chunks_total,
+            });
+        }
+    }
+
+    let host = host_cpus();
+    let mut tab = TextTable::new([
+        "Bench",
+        "Threads",
+        "Time (s)",
+        "Self-speedup",
+        "Busy",
+        "Steal",
+        "Chunks",
+    ]);
+    for c in &cells {
+        tab.row([
+            c.bench.to_string(),
+            c.threads.to_string(),
+            fnum(c.time_s),
+            format!("{:.2}x", c.self_speedup),
+            format!("{:.0}%", c.busy_frac * 100.0),
+            format!("{:.0}%", c.steal_frac * 100.0),
+            fint(c.chunks),
+        ]);
+    }
+    let mut out = format!(
+        "Multicore scaling sweep on {} ({}, {} nnz, R = {rank}, B = {}, best of {reps}, host cpus = {host})\n",
+        opts.dataset,
+        x.shape(),
+        fint(x.nnz() as u64),
+        1u32 << block_bits,
+    );
+    out.push_str(&tab.render());
+
+    if let Some(path) = &opts.out_json {
+        let mut json = String::from("{\n");
+        json.push_str(&format!(
+            "  \"dataset\": \"{}\",\n  \"shape\": \"{}\",\n  \"nnz\": {},\n  \"rank\": {rank},\n  \"block_bits\": {block_bits},\n  \"reps\": {reps},\n  \"host_cpus\": {host},\n",
+            opts.dataset,
+            x.shape(),
+            x.nnz(),
+        ));
+        json.push_str("  \"rows\": [\n");
+        for (i, c) in cells.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"bench\": \"{}\", \"threads\": {}, \"time_s\": {}, \"self_speedup\": {}, \"busy_frac\": {}, \"park_frac\": {}, \"steal_frac\": {}, \"chunks\": {}}}{}\n",
+                c.bench,
+                c.threads,
+                obs::json::json_f64(c.time_s),
+                obs::json::json_f64_fixed(c.self_speedup, 3),
+                obs::json::json_f64_fixed(c.busy_frac, 3),
+                obs::json::json_f64_fixed(c.park_frac, 3),
+                obs::json::json_f64_fixed(c.steal_frac, 3),
+                c.chunks,
+                if i + 1 < cells.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(path, &json)?;
+        out.push_str(&format!("wrote {}\n", path.display()));
+    }
+
+    if let Some(floor_path) = &opts.floors {
+        let floors = parse_scaling_floors(floor_path)?;
+        let mut violations = Vec::new();
+        for (bench, t, floor) in &floors {
+            if *t > host {
+                out.push_str(&format!(
+                    "gate {bench}@{t}: skipped (floor {floor:.2}x, host has {host} cpus)\n"
+                ));
+                continue;
+            }
+            match cells.iter().find(|c| c.bench == bench && c.threads == *t) {
+                None => violations.push(format!(
+                    "{bench}@{t}: floor {floor:.2}x but no measured row \
+                     (pass --threads including {t})"
+                )),
+                Some(c) if c.self_speedup < *floor => violations.push(format!(
+                    "{bench}@{t}: self-speedup {:.2}x below floor {floor:.2}x",
+                    c.self_speedup
+                )),
+                Some(c) => out.push_str(&format!(
+                    "gate {bench}@{t}: {:.2}x >= {floor:.2}x ok\n",
+                    c.self_speedup
+                )),
+            }
+        }
+        if !violations.is_empty() {
+            return Err(CliError::Usage(format!(
+                "scaling gate failed:\n  {}",
+                violations.join("\n  ")
+            )));
+        }
     }
     Ok(out)
 }
@@ -1655,7 +2020,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let json = dir.join("ablate.json");
         let cfg = SupervisorConfig::default();
-        let r = ablate_mttkrp("s4", 3_000, 4, 3, 1, Some(&json), &cfg).unwrap();
+        let r = ablate_mttkrp("s4", 3_000, 4, 3, 1, &[], Some(&json), &cfg).unwrap();
         assert!(r.contains("hicoo/scheduled"), "{r}");
         assert!(r.contains("Status"), "{r}");
         let body = std::fs::read_to_string(&json).unwrap();
@@ -1663,7 +2028,7 @@ mod tests {
         assert!(body.contains("coo/privatized"));
         assert!(body.contains("\"status\": \"ok\""));
         assert!(matches!(
-            ablate_mttkrp("zz99", 1_000, 4, 3, 1, None, &cfg),
+            ablate_mttkrp("zz99", 1_000, 4, 3, 1, &[], None, &cfg),
             Err(CliError::Usage(_))
         ));
     }

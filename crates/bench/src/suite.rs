@@ -443,6 +443,25 @@ pub fn run_mttkrp_ablation_supervised(
     reps: usize,
     cfg: &SupervisorConfig,
 ) -> Vec<AblationRow> {
+    run_mttkrp_ablation_supervised_at(x, r, block_bits, reps, None, cfg)
+}
+
+/// [`run_mttkrp_ablation_supervised`] pinned to an explicit pool size.
+///
+/// The supervisor runs each trial on a freshly spawned watchdog thread, so
+/// a `with_threads` scope around the whole ablation would not reach the
+/// measured kernels (the pool-size override is thread-local). Instead the
+/// override is installed *inside* each trial closure, on the watchdog
+/// thread itself. `None` keeps whatever pool size the watchdog thread
+/// defaults to.
+pub fn run_mttkrp_ablation_supervised_at(
+    x: &CooTensor<f32>,
+    r: usize,
+    block_bits: u8,
+    reps: usize,
+    threads: Option<usize>,
+    cfg: &SupervisorConfig,
+) -> Vec<AblationRow> {
     use tenbench_core::kernels::mttkrp::MttkrpStrategy;
     use tenbench_core::sched;
 
@@ -468,10 +487,17 @@ pub fn run_mttkrp_ablation_supervised(
     let xa = Arc::new(x.clone());
     let factors = Arc::new(make_factors(x, r));
     let hx = Arc::new(HicooTensor::from_coo(x, block_bits).expect("valid block bits"));
-    // Pre-warm the schedule cache for every mode.
-    for mode in 0..order {
-        let _ = sched::row_schedule(x, mode);
-        let _ = sched::mode_schedule(&hx, mode);
+    // Pre-warm the schedule cache for every mode, under the same pool
+    // size the trials will install (schedules are keyed on thread count).
+    let warm = || {
+        for mode in 0..order {
+            let _ = sched::row_schedule(x, mode);
+            let _ = sched::mode_schedule(&hx, mode);
+        }
+    };
+    match threads {
+        Some(t) => tenbench_core::par::with_threads(t, warm),
+        None => warm(),
     }
     // Sequential reference digests, one per mode (the trust anchor every
     // cell is validated against).
@@ -511,11 +537,17 @@ pub fn run_mttkrp_ablation_supervised(
                     }
                     .map_err(|e| e.to_string())
                 };
-                let out = run_once()?;
-                let secs = time_avg(reps, || {
-                    std::hint::black_box(run_once().unwrap());
-                });
-                Ok((secs, out))
+                let body = || {
+                    let out = run_once()?;
+                    let secs = time_avg(reps, || {
+                        std::hint::black_box(run_once().unwrap());
+                    });
+                    Ok((secs, out))
+                };
+                match threads {
+                    Some(t) => tenbench_core::par::with_threads(t, body),
+                    None => body(),
+                }
             });
             let reference = &refs[mode];
             let (report, value) = supervise(

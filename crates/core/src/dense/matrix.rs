@@ -27,6 +27,20 @@ impl<S: Scalar> DenseMatrix<S> {
         }
     }
 
+    /// Zero-filled matrix whose backing pages are first-touched by the
+    /// current pool's workers instead of the calling thread. Use for large
+    /// outputs that parallel kernels are about to write: the serial zeroing
+    /// in [`DenseMatrix::zeros`] is an Amdahl term in front of every
+    /// scheduled kernel, and remote-node page placement penalizes every
+    /// write after it.
+    pub fn zeros_par(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: crate::par::first_touch_filled(rows * cols, S::ZERO),
+        }
+    }
+
     /// Matrix filled with a constant.
     pub fn constant(rows: usize, cols: usize, v: S) -> Self {
         DenseMatrix {

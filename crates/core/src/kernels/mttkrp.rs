@@ -214,7 +214,7 @@ pub fn mttkrp_atomic<S: Scalar>(
     let r = check_factors(x.shape(), factors, mode)?;
     let _span = obs::span!("mttkrp.atomic");
     charge_coo(x, r);
-    let mut out = DenseMatrix::zeros(x.shape().dim(mode) as usize, r);
+    let mut out = DenseMatrix::zeros_par(x.shape().dim(mode) as usize, r);
     {
         let cells = S::as_atomic_slice(out.data_mut());
         let rows = x.mode_inds(mode);
@@ -281,7 +281,7 @@ pub fn mttkrp_privatized<S: Scalar>(
     .into_iter()
     .flatten()
     .collect();
-    let mut out = DenseMatrix::zeros(rows_n, r);
+    let mut out = DenseMatrix::zeros_par(rows_n, r);
     let stripe = 4096usize;
     out.data_mut()
         .par_chunks_mut(stripe)
@@ -368,7 +368,7 @@ pub fn mttkrp_sched_with<S: Scalar>(
     let _span = obs::span!("mttkrp.scheduled");
     charge_coo(x, r);
     let rows_n = x.shape().dim(mode) as usize;
-    let mut out = DenseMatrix::zeros(rows_n, r);
+    let mut out = DenseMatrix::zeros_par(rows_n, r);
     let mut tasks = split_row_ranges(
         out.data_mut(),
         r,
@@ -448,7 +448,7 @@ pub fn mttkrp_hicoo<S: Scalar>(
     let r = check_factors(h.shape(), factors, mode)?;
     let _span = obs::span!("mttkrp.hicoo");
     charge_hicoo(h, r);
-    let mut out = DenseMatrix::zeros(h.shape().dim(mode) as usize, r);
+    let mut out = DenseMatrix::zeros_par(h.shape().dim(mode) as usize, r);
     let bits = h.block_bits();
     {
         let cells = S::as_atomic_slice(out.data_mut());
@@ -518,7 +518,7 @@ pub fn mttkrp_hicoo_sched_with<S: Scalar>(
     let _span = obs::span!("mttkrp.hicoo.scheduled");
     charge_hicoo(h, r);
     let rows_n = h.shape().dim(mode) as usize;
-    let mut out = DenseMatrix::zeros(rows_n, r);
+    let mut out = DenseMatrix::zeros_par(rows_n, r);
     let bits = h.block_bits();
     let order = h.order();
     let mut tasks = split_row_ranges(

@@ -74,7 +74,7 @@ pub fn ttm_prepared<S: Scalar>(
     let xv = x.vals();
     let xk = x.mode_inds(mode);
 
-    let mut vals = vec![S::ZERO; mf * r];
+    let mut vals = crate::par::first_touch_filled(mf * r, S::ZERO);
     let body = |f: usize, stripe: &mut [S]| {
         for m in fp.fiber_range(f) {
             let val = xv[m];
@@ -201,7 +201,7 @@ pub fn ttm_ghicoo<S: Scalar>(
     let gv = g.vals();
     let gk = g.find(mode);
 
-    let mut vals = vec![S::ZERO; mf * r];
+    let mut vals = crate::par::first_touch_filled(mf * r, S::ZERO);
     let body = |f: usize, stripe: &mut [S]| {
         for m in fp.fiber_range(f) {
             let val = gv[m];

@@ -80,7 +80,7 @@ pub fn ttv_prepared<S: Scalar>(
     let xk = x.mode_inds(mode);
     let vv = v.as_slice();
 
-    let mut vals = vec![S::ZERO; mf];
+    let mut vals = crate::par::first_touch_filled(mf, S::ZERO);
     par_for_each_indexed(&mut vals, sched, |f, out| {
         let mut acc = S::ZERO;
         for m in fp.fiber_range(f) {
@@ -212,7 +212,7 @@ pub fn ttv_ghicoo<S: Scalar>(
     let gv = g.vals();
     let gk = g.find(mode);
     let vv = v.as_slice();
-    let mut vals = vec![S::ZERO; mf];
+    let mut vals = crate::par::first_touch_filled(mf, S::ZERO);
     par_for_each_indexed(&mut vals, sched, |f, out| {
         let mut acc = S::ZERO;
         for m in fp.fiber_range(f) {

@@ -96,6 +96,37 @@ pub fn stable_worker_index() -> Option<usize> {
     rayon::stable_worker_index()
 }
 
+/// Elements per first-touch chunk: large enough to span whole pages so the
+/// page-fault cost (the real work of a fresh allocation) is what gets
+/// distributed, small enough to load-balance across workers.
+const FIRST_TOUCH_GRAIN: usize = 1 << 15;
+
+/// Allocate a `Vec` of `n` copies of `value`, writing (first-touching) the
+/// backing pages from parallel workers instead of the allocating thread.
+///
+/// `vec![v; n]` commits every page from the calling thread: on a NUMA
+/// machine the whole buffer lands on that thread's node, and the serial
+/// fill is an Amdahl term in front of every parallel kernel that writes a
+/// large output (zeroing a 64 MB MTTKRP output serially costs more than
+/// the scheduled kernel itself at 8 threads). Touching pages from the
+/// workers that will write them spreads both the fault cost and the page
+/// placement.
+pub fn first_touch_filled<T: Copy + Send + Sync>(n: usize, value: T) -> Vec<T> {
+    let mut v: Vec<T> = Vec::with_capacity(n);
+    let spare = &mut v.spare_capacity_mut()[..n];
+    spare
+        .par_chunks_mut(FIRST_TOUCH_GRAIN)
+        .with_min_len(1)
+        .for_each(|chunk| {
+            for slot in chunk {
+                slot.write(value);
+            }
+        });
+    // SAFETY: every slot in 0..n was initialized by exactly one chunk.
+    unsafe { v.set_len(n) };
+    v
+}
+
 struct ArenaSlot<T> {
     busy: AtomicBool,
     data: UnsafeCell<Option<T>>,
@@ -152,6 +183,25 @@ impl<T: Send, F: Fn() -> T + Sync> ScratchArena<T, F> {
             })
             .collect();
         ScratchArena { make, slots }
+    }
+
+    /// Pre-build scratch buffers on the pool workers that will use them.
+    ///
+    /// Buffers are created lazily on first use, which already places each
+    /// worker's buffer on the memory local to that worker — but the first
+    /// use then pays allocation and page faults *inside* the measured
+    /// kernel. `warm()` broadcasts over the current pool so every
+    /// participating worker (and the caller) faults its own slot's buffer
+    /// in, outside any timed region. Workers that don't participate in
+    /// the broadcast simply stay lazy; warming is an optimization, not a
+    /// correctness requirement.
+    pub fn warm(&self) {
+        rayon::broadcast(|_| {
+            self.with(|_| {});
+        });
+        // The broadcast caller participates as one of the logical workers,
+        // but make its slot 0 warm unconditionally.
+        self.with(|_| {});
     }
 
     /// Run `f` with this thread's scratch buffer (creating it on first use).
@@ -312,6 +362,34 @@ mod tests {
             n <= 2,
             "one buffer per OS thread expected, saw {n} allocations"
         );
+    }
+
+    #[test]
+    fn first_touch_filled_matches_plain_fill() {
+        let v = first_touch_filled(100_000, 7u32);
+        assert_eq!(v.len(), 100_000);
+        assert!(v.iter().all(|&x| x == 7));
+        let w = with_threads(4, || first_touch_filled(70_001, 1.5f64));
+        assert!(w.iter().all(|&x| x == 1.5));
+        let empty: Vec<f32> = first_touch_filled(0, 0.0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn scratch_arena_warm_prefaults_caller_slot() {
+        use std::sync::atomic::AtomicUsize;
+        let allocs = AtomicUsize::new(0);
+        let arena = ScratchArena::new(|| {
+            allocs.fetch_add(1, Ordering::Relaxed);
+            vec![0u8; 8]
+        });
+        with_threads(2, || arena.warm());
+        let warmed = allocs.load(Ordering::Relaxed);
+        assert!(warmed >= 1, "warm() builds at least the caller's buffer");
+        // The caller's slot is now warm: sequential reuse allocates nothing.
+        arena.with(|s| s[0] = 1);
+        arena.with(|s| assert_eq!(s[0], 1));
+        assert_eq!(allocs.load(Ordering::Relaxed), warmed);
     }
 
     #[test]

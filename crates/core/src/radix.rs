@@ -28,6 +28,12 @@ const PAR_MIN: usize = 1 << 14;
 /// Smallest per-chunk share worth a dedicated histogram.
 const MIN_CHUNK: usize = 1 << 12;
 
+/// Chunk count at which the digit-major exclusive scan over the
+/// `nchunks x 256` histogram matrix is merged in parallel (per-digit
+/// columns) instead of one sequential sweep. Below this the matrix fits
+/// in cache and a parallel region is pure overhead.
+const SCAN_PAR_MIN_CHUNKS: usize = 32;
+
 /// Number of 8-bit passes needed to cover `max_key`.
 #[inline]
 pub fn passes_for(max_key: u128) -> usize {
@@ -65,44 +71,58 @@ where
     let _span = obs::span!("radix.sort");
     obs::counters::SORT_KEYS.add(n as u64);
     let threads = rayon::current_num_threads().max(1);
-    let mut buf: Vec<u32> = vec![0u32; n];
-    for pass in 0..passes {
-        let skipped = if threads > 1 && n >= PAR_MIN {
-            parallel_pass(perm, &mut buf, pass, &digit, threads)
-        } else {
-            sequential_pass(perm, &mut buf, pass, &digit)
-        };
-        if !skipped {
-            std::mem::swap(perm, &mut buf);
+    if threads > 1 && n >= PAR_MIN {
+        // First-touch the scratch from the pool workers: the scatter is
+        // bandwidth-bound, and pages committed by the allocating thread
+        // would otherwise serve every worker's writes from one node.
+        let mut buf: Vec<u32> = crate::par::first_touch_filled(n, 0);
+        for pass in 0..passes {
+            if !parallel_pass(perm, &mut buf, pass, &digit, threads) {
+                std::mem::swap(perm, &mut buf);
+            }
         }
+    } else {
+        sequential_sort(perm, passes, &digit);
     }
 }
 
-/// One sequential stable counting pass. Returns `true` if the pass was a
-/// no-op (all elements share the digit) and `buf` was left untouched.
-fn sequential_pass<D>(perm: &[u32], buf: &mut [u32], pass: usize, digit: &D) -> bool
+/// Sequential LSD sort with every pass's histogram fused into one sweep.
+///
+/// Digit counts are permutation-invariant, so pass `k`'s histogram taken
+/// on the *original* order is still valid when pass `k` runs. Computing
+/// them all up front turns each pass into a scatter-only sweep: one read
+/// of the key array per pass instead of two, which is the dominant cost
+/// for multi-byte keys.
+fn sequential_sort<D>(perm: &mut Vec<u32>, passes: usize, digit: &D)
 where
     D: Fn(u32, usize) -> u8,
 {
-    let mut hist = [0u32; BUCKETS];
-    for &p in perm {
-        hist[digit(p, pass) as usize] += 1;
+    let n = perm.len();
+    let mut hists = vec![[0u32; BUCKETS]; passes];
+    for &p in perm.iter() {
+        for (pass, h) in hists.iter_mut().enumerate() {
+            h[digit(p, pass) as usize] += 1;
+        }
     }
-    if hist.iter().any(|&c| c as usize == perm.len()) {
-        return true;
+    let mut buf: Vec<u32> = vec![0u32; n];
+    for (pass, hist) in hists.iter().enumerate() {
+        // A pass where one digit owns every element is a stable no-op.
+        if hist.iter().any(|&c| c as usize == n) {
+            continue;
+        }
+        let mut offs = [0u32; BUCKETS];
+        let mut running = 0u32;
+        for (o, &c) in offs.iter_mut().zip(hist.iter()) {
+            *o = running;
+            running += c;
+        }
+        for &p in perm.iter() {
+            let d = digit(p, pass) as usize;
+            buf[offs[d] as usize] = p;
+            offs[d] += 1;
+        }
+        std::mem::swap(perm, &mut buf);
     }
-    let mut offs = [0u32; BUCKETS];
-    let mut running = 0u32;
-    for d in 0..BUCKETS {
-        offs[d] = running;
-        running += hist[d];
-    }
-    for &p in perm {
-        let d = digit(p, pass) as usize;
-        buf[offs[d] as usize] = p;
-        offs[d] += 1;
-    }
-    false
 }
 
 /// One parallel stable counting pass: per-chunk histograms, a digit-major
@@ -143,12 +163,41 @@ where
     // private start offsets; chunk c's digit-d run lands directly after
     // every earlier chunk's digit-d run, which is what makes the scatter
     // stable for any chunk count.
-    let mut running = 0u32;
-    for d in 0..BUCKETS {
-        for h in hists.iter_mut() {
-            let count = h[d];
-            h[d] = running;
-            running += count;
+    if nchunks >= SCAN_PAR_MIN_CHUNKS {
+        // Wide pools: the nchunks x 256 merge matrix is big enough that a
+        // single sequential scan serializes the pass. Each digit's column
+        // is independent once its base offset is known, so compute digit
+        // bases from the totals, then scan the columns in parallel.
+        let mut bases = [0u32; BUCKETS];
+        let mut running = 0u32;
+        for (b, &t) in bases.iter_mut().zip(totals.iter()) {
+            *b = running;
+            running += t;
+        }
+        let cells = RawOut(hists.as_mut_ptr() as *mut u32);
+        let cells_ref = &cells;
+        (0..BUCKETS).into_par_iter().with_min_len(16).for_each(|d| {
+            let mut running = bases[d];
+            for c in 0..nchunks {
+                // SAFETY: digit d's column touches exactly the cells
+                // `c * BUCKETS + d`, disjoint across digits, and `hists`
+                // is borrowed mutably for the whole region.
+                unsafe {
+                    let cell = cells_ref.0.add(c * BUCKETS + d);
+                    let count = *cell;
+                    *cell = running;
+                    running += count;
+                }
+            }
+        });
+    } else {
+        let mut running = 0u32;
+        for d in 0..BUCKETS {
+            for h in hists.iter_mut() {
+                let count = h[d];
+                h[d] = running;
+                running += count;
+            }
         }
     }
 
@@ -236,6 +285,21 @@ mod tests {
             with_threads(threads, || sort_perm_by_u128_keys(&mut perm, &keys, max));
             assert_eq!(perm, expect, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn wide_pools_use_the_parallel_scan_merge() {
+        // Enough elements for >= SCAN_PAR_MIN_CHUNKS per-chunk histograms
+        // at 48 threads, so the digit-major merge takes the parallel
+        // per-column path and must still produce the stable order.
+        let mut rng = splitmix(11);
+        let n = 48 * super::MIN_CHUNK;
+        let keys: Vec<u128> = (0..n).map(|_| (rng() as u32) as u128).collect();
+        let max = keys.iter().copied().max().unwrap();
+        let expect = reference_perm(&keys);
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        with_threads(48, || sort_perm_by_u128_keys(&mut perm, &keys, max));
+        assert_eq!(perm, expect);
     }
 
     #[test]

@@ -34,6 +34,8 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use rayon::prelude::*;
+
 use crate::coo::CooTensor;
 use crate::hicoo::HicooTensor;
 use crate::par::current_threads;
@@ -47,18 +49,24 @@ const TASKS_PER_THREAD: usize = 8;
 /// Returns `tptr` with `tptr[t]..tptr[t+1]` the group range of task `t`;
 /// tasks never split a group (that would reintroduce write conflicts).
 fn balance_tasks(weights: &[u64], threads: usize) -> Vec<u32> {
-    let ngroups = weights.len();
+    balance_tasks_by(weights.len(), |g| weights[g], threads)
+}
+
+/// [`balance_tasks`] over a weight function, so callers whose weights are
+/// already derivable from an existing structure (e.g. adjacent `rptr`
+/// differences) don't materialize an 8-bytes-per-group scratch array.
+fn balance_tasks_by(ngroups: usize, weight: impl Fn(usize) -> u64, threads: usize) -> Vec<u32> {
     if ngroups == 0 {
         return vec![0];
     }
-    let total: u64 = weights.iter().sum();
+    let total: u64 = (0..ngroups).map(&weight).sum();
     let ntasks = (threads.max(1) * TASKS_PER_THREAD).min(ngroups).max(1);
     let target = total.div_ceil(ntasks as u64).max(1);
     let mut tptr = Vec::with_capacity(ntasks + 1);
     tptr.push(0u32);
     let mut acc = 0u64;
-    for (g, &w) in weights.iter().enumerate() {
-        acc += w;
+    for g in 0..ngroups {
+        acc += weight(g);
         if acc >= target && g + 1 < ngroups {
             tptr.push((g + 1) as u32);
             acc = 0;
@@ -240,13 +248,6 @@ impl RowSchedule {
     /// Build from the mode-`n` index array of a COO tensor.
     pub fn build(rows: &[u32], rows_n: usize, mode: usize, threads: usize) -> Self {
         let m = rows.len();
-        let mut rptr = vec![0u32; rows_n + 1];
-        for &i in rows {
-            rptr[i as usize + 1] += 1;
-        }
-        for i in 0..rows_n {
-            rptr[i + 1] += rptr[i];
-        }
         // Stable sort of nonzero positions by row index. The parallel LSD
         // radix engine produces exactly the permutation the old sequential
         // counting-sort scatter did (both are stable by original position).
@@ -256,14 +257,43 @@ impl RowSchedule {
             |p| rows[p as usize],
             (rows_n as u32).saturating_sub(1),
         );
-        // Balance tasks over rows weighted by their nonzero counts. Row
-        // weights are derived from rptr without materializing a second
-        // array per row: balance over coarse row strips when rows_n is
-        // huge would also work, but rows_n is u32-indexed and transient.
-        let weights: Vec<u64> = (0..rows_n)
-            .map(|i| (rptr[i + 1] - rptr[i]) as u64)
-            .collect();
-        let tptr = balance_tasks(&weights, threads);
+        // Row boundaries from the sorted permutation: `rptr[i]` is the
+        // first sorted position whose row is `>= i`. Each boundary range
+        // is owned by exactly one sorted position, so the fill runs in
+        // parallel with disjoint writes — replacing the serial
+        // per-nonzero counting pass plus prefix scan that used to front
+        // every schedule build.
+        let mut rptr = vec![0u32; rows_n + 1];
+        if m > 0 {
+            struct RawPtr(*mut u32);
+            unsafe impl Sync for RawPtr {}
+            let out = RawPtr(rptr.as_mut_ptr());
+            let out_ref = &out;
+            let perm_ref = &perm;
+            (0..m).into_par_iter().with_min_len(4096).for_each(|j| {
+                let r = rows[perm_ref[j] as usize] as usize;
+                let lo = if j == 0 {
+                    0
+                } else {
+                    let prev = rows[perm_ref[j - 1] as usize] as usize;
+                    if prev == r {
+                        return;
+                    }
+                    prev + 1
+                };
+                for i in lo..=r {
+                    // SAFETY: sorted rows ascend, so `(prev_row, row]`
+                    // ranges are disjoint across positions and in-bounds
+                    // (`row < rows_n`).
+                    unsafe { out_ref.0.add(i).write(j as u32) };
+                }
+            });
+            let last = rows[perm[m - 1] as usize] as usize;
+            rptr[last + 1..].fill(m as u32);
+        }
+        // Balance tasks over rows weighted by their nonzero counts, read
+        // straight out of rptr.
+        let tptr = balance_tasks_by(rows_n, |i| (rptr[i + 1] - rptr[i]) as u64, threads);
         RowSchedule {
             mode,
             threads,

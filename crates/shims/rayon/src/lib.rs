@@ -434,24 +434,38 @@ mod pool {
         let reg = registry();
         let mut q = reg.queue.lock().unwrap();
         q.jobs.push((job, helpers));
+        // Reserve spawn indices under the lock but create the OS threads
+        // after releasing it: thread creation is microseconds of kernel
+        // work, and doing it inside the critical section serialized every
+        // concurrent submitter (and every worker trying to claim a job)
+        // behind one region's cold-start.
         let deficit = helpers
             .saturating_sub(q.idle)
             .min(MAX_WORKERS.saturating_sub(q.spawned));
-        for _ in 0..deficit {
-            let id = q.spawned;
+        let first_id = q.spawned;
+        q.spawned += deficit;
+        // Wake only as many parked workers as this job can seat.
+        // `notify_all` stampeded every parked worker through the queue
+        // lock on every submit; the ones that found no open slot just
+        // re-parked, so wide pools paid a herd of wakeups per region.
+        let wake = helpers.min(q.idle);
+        drop(q);
+        for _ in 0..wake {
+            reg.work.notify_one();
+        }
+        for id in first_id..first_id + deficit {
             let spawned = std::thread::Builder::new()
                 .name(format!("tenbench-pool-{id}"))
                 .spawn(move || worker_loop(registry(), id))
                 .is_ok();
-            if spawned {
-                q.spawned += 1;
-            } else {
-                // Out of OS threads: the caller still drains the region.
+            if !spawned {
+                // Out of OS threads: the reserved index stays dead (its
+                // stats lane reads zero) and the caller still drains the
+                // region. Indices are never reused, so stable worker ids
+                // stay unique.
                 break;
             }
         }
-        drop(q);
-        reg.work.notify_all();
     }
 
     fn retract(job: &Arc<Job>) {
@@ -459,6 +473,13 @@ mod pool {
         let mut q = reg.queue.lock().unwrap();
         q.jobs.retain(|(j, _)| !Arc::ptr_eq(j, job));
     }
+
+    /// Target chunks per logical worker. Enough slack that a worker stuck
+    /// on an expensive chunk sheds the rest of its share to its peers, few
+    /// enough that claims on the region's shared counter stay cheap: the
+    /// counter is one `fetch_add` per chunk, so a region costs
+    /// `threads * CHUNKS_PER_WORKER` contended RMWs at most.
+    pub(crate) const CHUNKS_PER_WORKER: usize = 8;
 
     /// Execute `body` over `0..len` in chunks of at least `grain` items,
     /// using up to `current_num_threads()` logical workers.
@@ -468,9 +489,9 @@ mod pool {
         }
         let threads = crate::current_num_threads().max(1);
         let grain = grain.max(1);
-        // Aim for several chunks per worker for load balance, but never
-        // below the requested minimum chunk length.
-        let chunk = grain.max(len.div_ceil(threads * 4)).max(1);
+        // Aim for CHUNKS_PER_WORKER chunks per worker for load balance,
+        // but never below the requested minimum chunk length.
+        let chunk = grain.max(len.div_ceil(threads * CHUNKS_PER_WORKER)).max(1);
         let nchunks = len.div_ceil(chunk);
         let helpers = (threads - 1)
             .min(nchunks.saturating_sub(1))
@@ -1456,23 +1477,28 @@ mod tests {
             })
         };
         let main_id = std::thread::current().id();
-        let mut helper_ids = HashSet::new();
+        // Prime the pool so the worker serving the first region is already
+        // spawned, then count OS threads across the remaining regions.
+        let _ = region_ids();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let spawned_before = pool_worker_count();
         for _ in 0..10 {
             let ids = region_ids();
             assert_eq!(ids.len(), 2, "two distinct threads participate");
             assert!(ids.contains(&main_id), "caller participates");
-            helper_ids.extend(ids.into_iter().filter(|&id| id != main_id));
             // Give the helper a moment to park again so the next region
             // finds it idle instead of spawning a replacement.
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
-        // A spawn-per-region implementation would burn a fresh helper for
-        // every one of the 10 regions; the persistent pool parks and
-        // reuses. Allow a little slack for scheduler noise.
+        // A spawn-per-region implementation would burn a fresh OS thread
+        // for every one of the 10 regions; the persistent pool parks and
+        // re-seats workers instead (which parked worker serves a given
+        // region is unspecified). Allow a little slack for a region that
+        // raced a still-unparking helper.
+        let grown = pool_worker_count() - spawned_before;
         assert!(
-            helper_ids.len() <= 3,
-            "pool helpers reused across regions, saw {} distinct",
-            helper_ids.len()
+            grown <= 2,
+            "pool reused parked workers across regions, spawned {grown} new"
         );
     }
 
@@ -1566,6 +1592,98 @@ mod tests {
         assert!(
             stats.caller.busy_ns > 0,
             "caller lane accumulated busy time"
+        );
+    }
+
+    #[test]
+    fn chunk_claims_balance_across_workers() {
+        use std::collections::HashMap;
+        use std::sync::Barrier;
+        use std::thread;
+        use std::time::Duration;
+
+        // N chunks on T participants: dynamic claims off the shared
+        // counter must spread the work, with no participant hogging more
+        // than ~2x its fair share. The barrier holds every participant at
+        // its first chunk until all four have joined, so the caller can't
+        // race ahead and drain the region before the helpers arrive.
+        const T: usize = 4;
+        let n = T * pool::CHUNKS_PER_WORKER; // chunk size 1 => n chunks
+        let pool = ThreadPoolBuilder::new().num_threads(T).build().unwrap();
+        let barrier = Barrier::new(T);
+        let first = Mutex::new(HashSet::new());
+        let counts = Mutex::new(HashMap::new());
+        pool.install(|| {
+            (0..n).into_par_iter().with_min_len(1).for_each(|_| {
+                let id = thread::current().id();
+                if first.lock().unwrap().insert(id) {
+                    barrier.wait();
+                }
+                thread::sleep(Duration::from_millis(2));
+                *counts.lock().unwrap().entry(id).or_insert(0usize) += 1;
+            });
+        });
+        let counts = counts.into_inner().unwrap();
+        assert_eq!(counts.len(), T, "all participants executed chunks");
+        let total: usize = counts.values().sum();
+        assert_eq!(total, n, "every chunk executed exactly once");
+        let max = counts.values().copied().max().unwrap();
+        assert!(
+            max <= 2 * (n / T),
+            "no participant may exceed ~2x its fair share: max {max} of {n} chunks on {T} workers"
+        );
+    }
+
+    #[test]
+    fn pool_telemetry_consistent_with_wall_time() {
+        use std::time::{Duration, Instant};
+
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        // Warm the pool so worker spawning isn't inside the window.
+        pool.install(|| (0..64).into_par_iter().with_min_len(1).for_each(|_| {}));
+        let outer_t0 = Instant::now();
+        reset_pool_stats();
+        let prev = set_pool_telemetry(true);
+        let chunks = 64u64;
+        let per_chunk = Duration::from_millis(1);
+        pool.install(|| {
+            (0..chunks as usize)
+                .into_par_iter()
+                .with_min_len(1)
+                .for_each(|_| std::thread::sleep(per_chunk));
+        });
+        set_pool_telemetry(prev);
+        let stats = pool_stats();
+        let outer = outer_t0.elapsed();
+
+        // A worker is one OS thread, so neither its busy nor its park time
+        // can exceed the wall-clock telemetry window (2x slack for clock
+        // granularity). This holds even if another test's region overlaps
+        // the window — real time is the bound either way.
+        let cap = outer.as_nanos() as u64 * 2;
+        for w in &stats.workers {
+            assert!(
+                w.busy_ns <= cap,
+                "worker {} busy {}ns exceeds window {}ns",
+                w.worker,
+                w.busy_ns,
+                outer.as_nanos()
+            );
+            assert!(
+                w.park_ns <= cap,
+                "worker {} park {}ns exceeds window",
+                w.worker,
+                w.park_ns
+            );
+        }
+        // And the lanes together must account for at least the sleep work
+        // the region actually performed.
+        let busy_total: u64 =
+            stats.caller.busy_ns + stats.workers.iter().map(|w| w.busy_ns).sum::<u64>();
+        let floor = chunks * per_chunk.as_nanos() as u64 / 2;
+        assert!(
+            busy_total >= floor,
+            "lanes under-report busy time: {busy_total}ns < {floor}ns"
         );
     }
 
