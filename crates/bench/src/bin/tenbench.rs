@@ -31,6 +31,12 @@
 //!                   [--queue-bound Q] [--max-batch B] [--cache-mb M]
 //!                   [--deadline-ms D] [--max-p99-ms X] [--min-hit-ratio H]
 //!                   [--out BENCH_serve.json]
+//! tenbench chaos    [--seed S] [--duration 3s] [--jobs J] [--dim D]
+//!                   [--nnz N] [--tensors T] [--alpha A] [--clients C]
+//!                   [--rank R] [--max-iters I] [--fault-rate P]
+//!                   [--max-step-seconds S] [--job-workers W]
+//!                   [--max-recoveries K] [--out BENCH_chaos.json]
+//!                   [--floors ci/chaos-floor.txt]
 //! ```
 //!
 //! The measuring subcommands (`kernel`, `ablate-mttkrp`, `convert-bench`)
@@ -54,6 +60,15 @@
 //! `BENCH_serve.json` with p50/p90/p99 latency, throughput, and cache hit
 //! ratio. Its gates (`--max-p99-ms`, `--min-hit-ratio`, and a mandatory
 //! typed queue-full rejection under overload) fail the process for CI.
+//!
+//! `chaos` runs the fault-injection harness: kernel traffic plus
+//! long-running decomposition jobs on one live service stack, with
+//! injected step panics, watchdog-tripping hangs, checkpoint corruption,
+//! and queue-full bursts. It writes `BENCH_chaos.json` and fails the
+//! process unless every admitted job reaches a terminal state, at least
+//! `min_recoveries` faults were absorbed by checkpoint resume, every
+//! fault kind fired, and every completed CP-ALS job bitwise-matches an
+//! uninterrupted reference run.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -399,6 +414,39 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
             };
             Ok(cli::stress(&stress_opts, serve_cfg, &supervisor_cfg())?)
         }
-        _ => Err("usage: tenbench <convert|stats|generate|kernel|ablate-mttkrp|convert-bench|scale-bench|verify|report|obs-overhead|serve|stress> ... (see the module docs)".into()),
+        Some("chaos") => {
+            let defaults = tenbench_bench::chaos::ChaosConfig::default();
+            let get_f64 = |key: &str, default: f64| -> Result<f64, String> {
+                opts.get(key)
+                    .map(|v| v.parse().map_err(|_| format!("bad --{key}")))
+                    .unwrap_or(Ok(default))
+            };
+            let cfg = tenbench_bench::chaos::ChaosConfig {
+                duration: cli::parse_duration(
+                    opts.get("duration").map(String::as_str).unwrap_or("3s"),
+                )?,
+                seed: get_usize("seed", defaults.seed as usize)? as u64,
+                jobs: get_usize("jobs", defaults.jobs)?,
+                dim: get_usize("dim", defaults.dim as usize)? as u32,
+                nnz: get_usize("nnz", defaults.nnz)?,
+                tensors: get_usize("tensors", defaults.tensors)?,
+                alpha: get_f64("alpha", defaults.alpha)?,
+                clients: get_usize("clients", defaults.clients)?,
+                rank: get_usize("rank", defaults.rank)?,
+                max_iters: get_usize("max-iters", defaults.max_iters)?,
+                fault_rate: get_f64("fault-rate", defaults.fault_rate)?,
+                max_step_seconds: get_f64("max-step-seconds", defaults.max_step_seconds)?,
+                job_workers: get_usize("job-workers", defaults.job_workers)?,
+                max_recoveries: get_usize("max-recoveries", defaults.max_recoveries as usize)?
+                    as u32,
+            };
+            let chaos_opts = cli::ChaosOpts {
+                cfg,
+                out_json: opts.get("out").map(PathBuf::from),
+                floors: opts.get("floors").map(PathBuf::from),
+            };
+            Ok(cli::chaos(&chaos_opts)?)
+        }
+        _ => Err("usage: tenbench <convert|stats|generate|kernel|ablate-mttkrp|convert-bench|scale-bench|verify|report|obs-overhead|serve|stress|chaos> ... (see the module docs)".into()),
     }
 }

@@ -1945,6 +1945,244 @@ pub fn stress(
     Ok(out)
 }
 
+/// Knobs for [`chaos`] beyond the harness's own [`crate::chaos::ChaosConfig`].
+#[derive(Debug, Clone)]
+pub struct ChaosOpts {
+    /// The scenario configuration.
+    pub cfg: crate::chaos::ChaosConfig,
+    /// Write `BENCH_chaos.json` here.
+    pub out_json: Option<PathBuf>,
+    /// Read gate floors (`max_lost_jobs` / `min_recoveries`) from this
+    /// `ci/chaos-floor.txt`-style file.
+    pub floors: Option<PathBuf>,
+}
+
+/// Gate floors for a chaos run: the CI contract.
+#[derive(Debug, Clone, Copy)]
+struct ChaosFloors {
+    /// Admitted jobs allowed to vanish without a terminal state (0).
+    max_lost_jobs: u64,
+    /// Minimum checkpoint-resume recoveries, proving the injector fired
+    /// and recovery worked (not merely that nothing went wrong).
+    min_recoveries: u64,
+}
+
+impl Default for ChaosFloors {
+    fn default() -> Self {
+        ChaosFloors {
+            max_lost_jobs: 0,
+            min_recoveries: 1,
+        }
+    }
+}
+
+fn parse_chaos_floors(path: &Path) -> CliResult<ChaosFloors> {
+    let text = std::fs::read_to_string(path)?;
+    let mut floors = ChaosFloors::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bad = |what: &str| {
+            CliError::Usage(format!(
+                "{}:{}: {what}: {raw:?}",
+                path.display(),
+                lineno + 1
+            ))
+        };
+        let mut it = line.split_whitespace();
+        let (Some(key), Some(val)) = (it.next(), it.next()) else {
+            return Err(bad("expected `<key> <value>`"));
+        };
+        let val: u64 = val.parse().map_err(|_| bad("bad value"))?;
+        match key {
+            "max_lost_jobs" => floors.max_lost_jobs = val,
+            "min_recoveries" => floors.min_recoveries = val,
+            _ => return Err(bad("unknown chaos floor key")),
+        }
+    }
+    Ok(floors)
+}
+
+/// `chaos`: run the fault-injection harness against a live service and
+/// apply the robustness gates (each a usage error on violation): zero lost
+/// jobs beyond the floor, at least `min_recoveries` checkpoint-resume
+/// recoveries, every injected fault kind exercised, at least one typed
+/// queue-full rejection from the job burst, bitwise CP-ALS reference
+/// match for every completed decomposition, and no fit-residual increase
+/// across a resume boundary.
+pub fn chaos(opts: &ChaosOpts) -> CliResult<String> {
+    let floors = match &opts.floors {
+        Some(path) => parse_chaos_floors(path)?,
+        None => ChaosFloors::default(),
+    };
+
+    // Injected panics are contained by the supervisor's catch_unwind and
+    // surface as typed step verdicts; silence their default stderr spew so
+    // the report stays readable. Panics on any other thread still print.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if std::thread::current().name() != Some("tenbench-supervised") {
+            prev_hook(info);
+        }
+    }));
+    let report = crate::chaos::run_chaos(&opts.cfg);
+    let _ = std::panic::take_hook();
+
+    let mut out = format!(
+        "chaos run: seed {}, {} jobs + kernel traffic ({} clients, {:.1}s, alpha {}), fault rate {}\n\n",
+        opts.cfg.seed,
+        opts.cfg.jobs,
+        opts.cfg.clients,
+        opts.cfg.duration.as_secs_f64(),
+        opts.cfg.alpha,
+        opts.cfg.fault_rate,
+    );
+    let mut table = TextTable::new(vec![
+        "job", "kind", "terminal", "iters", "fit", "recov", "resumes",
+    ]);
+    for l in &report.job_lines {
+        table.row(vec![
+            l.job_id.to_string(),
+            l.kind.to_string(),
+            l.terminal.clone(),
+            l.iterations.to_string(),
+            if l.fit.is_finite() {
+                format!("{:.6}", l.fit)
+            } else {
+                "-".to_string()
+            },
+            l.recoveries.to_string(),
+            l.resume_boundaries.to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\njobs: {} admitted, {} completed, {} failed (typed), {} lost, {} burst-rejected (typed)\n",
+        report.admitted, report.completed, report.failed, report.lost, report.burst_rejected,
+    ));
+    out.push_str(&format!(
+        "faults injected: {} panics, {} hangs, {} checkpoint corruptions\n",
+        report.injected_panics, report.injected_hangs, report.injected_corruptions,
+    ));
+    out.push_str(&format!(
+        "recovery: {} total ({} checkpoint resumes, {} reinits), {} corrupt checkpoints detected, {} checkpoints written\n",
+        report.recoveries, report.resumes, report.reinits, report.corrupt_detected,
+        report.checkpoints,
+    ));
+    out.push_str(&format!(
+        "kernel traffic: {} issued, {} ok, {} rejected (full), {} shed (deadline), {} failed; probe: {}/{} queue-full\n",
+        report.kernel.issued,
+        report.kernel.ok,
+        report.kernel.rejected_full,
+        report.kernel.rejected_deadline,
+        report.kernel.failed,
+        report.kernel_probe.rejected_queue_full,
+        report.kernel_probe.submitted,
+    ));
+    out.push_str(&format!(
+        "determinism: {}/{} completed cp_als runs bitwise-match the uninterrupted reference, {} resume boundaries, {} residual violations\n",
+        report.cp_checked - report.cp_mismatched,
+        report.cp_checked,
+        report.resume_boundaries,
+        report.residual_violations,
+    ));
+    out.push_str("obs counters:\n");
+    for (name, delta) in &report.counters {
+        out.push_str(&format!("  {name:<26} {delta}\n"));
+    }
+
+    if let Some(path) = &opts.out_json {
+        let json = format!(
+            concat!(
+                "{{\n  \"config\": {{\"seed\": {}, \"jobs\": {}, \"duration_s\": {}, ",
+                "\"clients\": {}, \"tensors\": {}, \"dim\": {}, \"nnz\": {}, ",
+                "\"fault_rate\": {}, \"max_step_seconds\": {}}},\n",
+                "  \"report\": {}\n}}\n"
+            ),
+            opts.cfg.seed,
+            opts.cfg.jobs,
+            obs::json::json_f64(opts.cfg.duration.as_secs_f64()),
+            opts.cfg.clients,
+            opts.cfg.tensors,
+            opts.cfg.dim,
+            opts.cfg.nnz,
+            obs::json::json_f64(opts.cfg.fault_rate),
+            obs::json::json_f64(opts.cfg.max_step_seconds),
+            report.to_json(),
+        );
+        obs::json::Value::parse(&json).map_err(|e| {
+            CliError::Usage(format!("internal: emitted BENCH_chaos.json invalid: {e}"))
+        })?;
+        std::fs::write(path, &json)?;
+        out.push_str(&format!("\nwrote {}\n", path.display()));
+    }
+
+    // The gates. Render the full report above first so a violated gate
+    // still leaves the evidence on screen.
+    if report.lost > floors.max_lost_jobs {
+        return Err(CliError::Usage(format!(
+            "chaos gate: {} jobs lost without a terminal state (floor {})",
+            report.lost, floors.max_lost_jobs,
+        )));
+    }
+    out.push_str(&format!(
+        "lost-jobs gate: {} <= {} ok\n",
+        report.lost, floors.max_lost_jobs
+    ));
+    if report.resumes < floors.min_recoveries {
+        return Err(CliError::Usage(format!(
+            "chaos gate: only {} checkpoint-resume recoveries (floor {}) — the injector \
+             or the resume path is dead",
+            report.resumes, floors.min_recoveries,
+        )));
+    }
+    out.push_str(&format!(
+        "recovery gate: {} resumes >= {} ok\n",
+        report.resumes, floors.min_recoveries
+    ));
+    if report.injected_panics == 0 || report.injected_hangs == 0 || report.injected_corruptions == 0
+    {
+        return Err(CliError::Usage(format!(
+            "chaos gate: fault mix incomplete ({} panics, {} hangs, {} corruptions) — \
+             raise --jobs, --max-iters, or --fault-rate",
+            report.injected_panics, report.injected_hangs, report.injected_corruptions,
+        )));
+    }
+    out.push_str("fault-mix gate: panic + hang + corruption all injected ok\n");
+    if report.burst_rejected == 0 {
+        return Err(CliError::Usage(
+            "chaos gate: the job-queue burst saw no typed queue-full rejection — admission \
+             control did not engage"
+                .to_string(),
+        ));
+    }
+    out.push_str(&format!(
+        "burst gate: {} typed queue-full rejections ok\n",
+        report.burst_rejected
+    ));
+    if report.cp_mismatched > 0 {
+        return Err(CliError::Usage(format!(
+            "chaos gate: {}/{} completed cp_als jobs do not bitwise-match their \
+             uninterrupted reference",
+            report.cp_mismatched, report.cp_checked,
+        )));
+    }
+    out.push_str(&format!(
+        "determinism gate: {}/{} cp_als reference matches ok\n",
+        report.cp_checked, report.cp_checked
+    ));
+    if report.residual_violations > 0 {
+        return Err(CliError::Usage(format!(
+            "chaos gate: {} fit-residual increases across resume boundaries",
+            report.residual_violations,
+        )));
+    }
+    out.push_str("residual gate: non-increasing across every resume boundary ok\n");
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

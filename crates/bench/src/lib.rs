@@ -14,7 +14,11 @@
 //! * [`metrics`] — observability glue: trace/counter capture lifecycle
 //!   and pool-telemetry snapshots merged into reports.
 //! * [`serve_exec`] — plugs the supervisor in as the execution backend of
-//!   the `tenbench-serve` kernel service.
+//!   the `tenbench-serve` kernel service and as the step runner of its
+//!   decomposition-job subsystem.
+//! * [`chaos`] — the fault-injection harness: a live service under load
+//!   with panics, hangs, checkpoint corruption, and queue-full bursts,
+//!   gated on zero lost jobs and bitwise resume determinism.
 
 // Index-heavy kernel code deliberately uses explicit loop indices over
 // several parallel arrays; the iterator forms clippy suggests are less
@@ -23,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod cli;
 pub mod data;
 pub mod format;

@@ -152,90 +152,147 @@ impl<S: Scalar> CpDecomposition<S> {
 /// `‖X‖^2 + ‖model‖^2 - 2 <X, model>` where the inner product reuses the
 /// last Mttkrp result.
 pub fn cp_als<S: Scalar>(x: &CooTensor<S>, opts: &CpAlsOptions) -> Result<CpDecomposition<S>> {
-    let order = x.order();
-    let r = opts.rank;
     let backend = Backend::build(x, opts.backend, opts.strategy)?;
+    let mut state = cp_als_init(x, opts);
+    while state.iteration < opts.max_iters {
+        if step_with_backend(x, &backend, opts, &mut state)? {
+            break;
+        }
+    }
+    Ok(CpDecomposition {
+        factors: state.factors,
+        lambda: state.lambda,
+        fit: state.fit,
+        iterations: state.iteration,
+    })
+}
+
+/// Resumable CP-ALS state: everything one sweep carries to the next that is
+/// not derivable from the tensor and the options.
+///
+/// Grams and `‖X‖²` are *not* stored: they are pure functions of the factors
+/// and the tensor, recomputed at the start of every [`cp_als_step`], so a
+/// state rebuilt from a checkpoint continues bitwise-identically to an
+/// uninterrupted run.
+#[derive(Debug, Clone)]
+pub struct CpAlsState<S: Scalar> {
+    /// One factor matrix per mode (`I_n x R`); column-normalized once at
+    /// least one sweep has completed.
+    pub factors: Vec<DenseMatrix<S>>,
+    /// Component weights.
+    pub lambda: Vec<S>,
+    /// Fit after the last completed sweep (`0.0` before the first).
+    pub fit: f64,
+    /// Number of completed ALS sweeps.
+    pub iteration: usize,
+}
+
+/// Seed the factor matrices for a fresh CP-ALS run (iteration 0).
+///
+/// Deterministic in `opts.seed`: the same seed always produces bitwise-equal
+/// initial factors.
+pub fn cp_als_init<S: Scalar>(x: &CooTensor<S>, opts: &CpAlsOptions) -> CpAlsState<S> {
     let mut rng = XorShift64::new(opts.seed);
-    let mut factors: Vec<DenseMatrix<S>> = (0..order)
+    let factors: Vec<DenseMatrix<S>> = (0..x.order())
         .map(|m| {
-            DenseMatrix::from_fn(x.shape().dim(m) as usize, r, |_, _| {
+            DenseMatrix::from_fn(x.shape().dim(m) as usize, opts.rank, |_, _| {
                 S::from_f64(rng.next_f64())
             })
         })
         .collect();
-    let mut grams: Vec<DenseMatrix<S>> = factors.iter().map(|f| f.gram()).collect();
-    let mut lambda: Vec<S> = vec![S::ONE; r];
+    CpAlsState {
+        factors,
+        lambda: vec![S::ONE; opts.rank],
+        fit: 0.0,
+        iteration: 0,
+    }
+}
+
+/// Run exactly one ALS sweep, advancing `state` in place.
+///
+/// Returns `Ok(true)` when the run has converged (fit delta below
+/// `opts.tol`, never on the first sweep — matching [`cp_als`]'s loop).
+/// Rebuilds the format backend on every call; long-running callers that
+/// step a `Coo` backend (the job subsystem) pay nothing for this, while
+/// [`cp_als`] itself reuses a prebuilt backend across sweeps.
+pub fn cp_als_step<S: Scalar>(
+    x: &CooTensor<S>,
+    opts: &CpAlsOptions,
+    state: &mut CpAlsState<S>,
+) -> Result<bool> {
+    let backend = Backend::build(x, opts.backend, opts.strategy)?;
+    step_with_backend(x, &backend, opts, state)
+}
+
+fn step_with_backend<S: Scalar>(
+    x: &CooTensor<S>,
+    backend: &Backend<S>,
+    opts: &CpAlsOptions,
+    state: &mut CpAlsState<S>,
+) -> Result<bool> {
+    let order = x.order();
+    let r = opts.rank;
+    // Derived quantities: bitwise-reproducible from (x, factors) alone, so
+    // checkpoints never need to carry them.
+    let mut grams: Vec<DenseMatrix<S>> = state.factors.iter().map(|f| f.gram()).collect();
     let norm_x_sq: f64 = x.vals().iter().map(|&v| v.to_f64() * v.to_f64()).sum();
 
-    let mut fit = 0.0f64;
-    let mut iterations = 0usize;
-    for sweep in 0..opts.max_iters {
-        iterations = sweep + 1;
-        let mut last_m: Option<DenseMatrix<S>> = None;
-        for n in 0..order {
-            let frefs: Vec<&DenseMatrix<S>> = factors.iter().collect();
-            let mkr = backend.mttkrp(x, &frefs, n)?;
-            // V = Hadamard product of the other modes' grams.
-            let mut v = DenseMatrix::constant(r, r, S::ONE);
-            for (m, g) in grams.iter().enumerate() {
-                if m != n {
-                    v = v.hadamard(g);
-                }
-            }
-            let mut a_n = v.solve_spd_rhs(&mkr);
-            let norms = a_n.normalize_columns();
-            for (l, nz) in lambda.iter_mut().zip(&norms) {
-                *l = if *nz == S::ZERO { S::ZERO } else { *nz };
-            }
-            grams[n] = a_n.gram();
-            factors[n] = a_n;
-            if n == order - 1 {
-                last_m = Some(mkr);
+    let mut last_m: Option<DenseMatrix<S>> = None;
+    for n in 0..order {
+        let frefs: Vec<&DenseMatrix<S>> = state.factors.iter().collect();
+        let mkr = backend.mttkrp(x, &frefs, n)?;
+        // V = Hadamard product of the other modes' grams.
+        let mut v = DenseMatrix::constant(r, r, S::ONE);
+        for (m, g) in grams.iter().enumerate() {
+            if m != n {
+                v = v.hadamard(g);
             }
         }
-
-        // Fit via the last mode's Mttkrp:
-        // <X, model> = sum_{i,k} M[i,k] * A_last[i,k] * lambda[k].
-        let last_m = last_m.expect("order >= 1");
-        let a_last = &factors[order - 1];
-        let mut inner = 0.0f64;
-        for i in 0..a_last.rows() {
-            let mr = last_m.row(i);
-            let ar = a_last.row(i);
-            for k in 0..r {
-                inner += mr[k].to_f64() * ar[k].to_f64() * lambda[k].to_f64();
-            }
+        let mut a_n = v.solve_spd_rhs(&mkr);
+        let norms = a_n.normalize_columns();
+        for (l, nz) in state.lambda.iter_mut().zip(&norms) {
+            *l = if *nz == S::ZERO { S::ZERO } else { *nz };
         }
-        // ||model||^2 = sum_{k,l} lambda_k lambda_l prod_n gram_n[k,l].
-        let mut model_sq = 0.0f64;
-        for a in 0..r {
-            for b in 0..r {
-                let mut prod = lambda[a].to_f64() * lambda[b].to_f64();
-                for g in &grams {
-                    prod *= g[(a, b)].to_f64();
-                }
-                model_sq += prod;
-            }
-        }
-        let resid_sq = (norm_x_sq + model_sq - 2.0 * inner).max(0.0);
-        let new_fit = if norm_x_sq > 0.0 {
-            1.0 - (resid_sq / norm_x_sq).sqrt()
-        } else {
-            1.0
-        };
-        let delta = (new_fit - fit).abs();
-        fit = new_fit;
-        if sweep > 0 && delta < opts.tol {
-            break;
+        grams[n] = a_n.gram();
+        state.factors[n] = a_n;
+        if n == order - 1 {
+            last_m = Some(mkr);
         }
     }
 
-    Ok(CpDecomposition {
-        factors,
-        lambda,
-        fit,
-        iterations,
-    })
+    // Fit via the last mode's Mttkrp:
+    // <X, model> = sum_{i,k} M[i,k] * A_last[i,k] * lambda[k].
+    let last_m = last_m.expect("order >= 1");
+    let a_last = &state.factors[order - 1];
+    let mut inner = 0.0f64;
+    for i in 0..a_last.rows() {
+        let mr = last_m.row(i);
+        let ar = a_last.row(i);
+        for k in 0..r {
+            inner += mr[k].to_f64() * ar[k].to_f64() * state.lambda[k].to_f64();
+        }
+    }
+    // ||model||^2 = sum_{k,l} lambda_k lambda_l prod_n gram_n[k,l].
+    let mut model_sq = 0.0f64;
+    for a in 0..r {
+        for b in 0..r {
+            let mut prod = state.lambda[a].to_f64() * state.lambda[b].to_f64();
+            for g in &grams {
+                prod *= g[(a, b)].to_f64();
+            }
+            model_sq += prod;
+        }
+    }
+    let resid_sq = (norm_x_sq + model_sq - 2.0 * inner).max(0.0);
+    let new_fit = if norm_x_sq > 0.0 {
+        1.0 - (resid_sq / norm_x_sq).sqrt()
+    } else {
+        1.0
+    };
+    let delta = (new_fit - state.fit).abs();
+    state.fit = new_fit;
+    state.iteration += 1;
+    Ok(state.iteration > 1 && delta < opts.tol)
 }
 
 #[cfg(test)]
@@ -351,6 +408,61 @@ mod tests {
             coo.fit,
             csf.fit
         );
+    }
+
+    #[test]
+    fn stepwise_run_matches_wrapper_bitwise() {
+        let x = rank_one_tensor();
+        let opts = CpAlsOptions {
+            rank: 2,
+            max_iters: 8,
+            tol: 0.0,
+            ..Default::default()
+        };
+        let d = cp_als(&x, &opts).unwrap();
+        let mut st = cp_als_init(&x, &opts);
+        while st.iteration < opts.max_iters {
+            if cp_als_step(&x, &opts, &mut st).unwrap() {
+                break;
+            }
+        }
+        assert_eq!(st.iteration, d.iterations);
+        assert_eq!(st.fit.to_bits(), d.fit.to_bits());
+        for (a, b) in st.factors.iter().zip(&d.factors) {
+            let ab: Vec<u64> = a.data().iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u64> = b.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ab, bb);
+        }
+        for (a, b) in st.lambda.iter().zip(&d.lambda) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn cloned_state_resumes_bitwise_identically() {
+        let x = rank_one_tensor();
+        let opts = CpAlsOptions {
+            rank: 2,
+            max_iters: 6,
+            tol: 0.0,
+            ..Default::default()
+        };
+        let mut a = cp_als_init(&x, &opts);
+        for _ in 0..3 {
+            cp_als_step(&x, &opts, &mut a).unwrap();
+        }
+        // "Checkpoint" by cloning mid-run, then continue both runs.
+        let mut b = a.clone();
+        for _ in 0..3 {
+            cp_als_step(&x, &opts, &mut a).unwrap();
+            cp_als_step(&x, &opts, &mut b).unwrap();
+        }
+        assert_eq!(a.fit.to_bits(), b.fit.to_bits());
+        for (fa, fb) in a.factors.iter().zip(&b.factors) {
+            let ab: Vec<u64> = fa.data().iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u64> = fb.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ab, bb);
+        }
     }
 
     #[test]

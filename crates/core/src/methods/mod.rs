@@ -12,9 +12,13 @@ mod cp_als;
 mod power_method;
 mod ttm_chain;
 
-pub use cp_als::{cp_als, CpAlsBackend, CpAlsOptions, CpDecomposition};
-pub use power_method::{tensor_power_method, PowerMethodResult};
-pub use ttm_chain::ttm_chain;
+pub use cp_als::{
+    cp_als, cp_als_init, cp_als_step, CpAlsBackend, CpAlsOptions, CpAlsState, CpDecomposition,
+};
+pub use power_method::{
+    power_method_init, power_method_step, tensor_power_method, PowerMethodResult, PowerMethodState,
+};
+pub use ttm_chain::{ttm_chain, ttm_chain_init, ttm_chain_step, TtmChainState};
 
 /// A small deterministic xorshift64* generator used to initialize factor
 /// matrices without pulling a random-number dependency into the core crate.

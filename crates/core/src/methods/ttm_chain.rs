@@ -25,6 +25,47 @@ pub fn ttm_chain<S: Scalar>(
     Ok(cur.to_coo())
 }
 
+/// Resumable TTM-chain state: the stage index and the COO intermediate
+/// after the last completed mode product.
+///
+/// The staged variant round-trips each intermediate through COO so it can
+/// be checkpointed between stages; a run resumed from a checkpointed stage
+/// is bitwise-identical to an uninterrupted *staged* run (both fold the
+/// same COO intermediates), though intermediates may be ordered differently
+/// from the single-pass [`ttm_chain`].
+#[derive(Debug, Clone)]
+pub struct TtmChainState<S: Scalar> {
+    /// Number of completed mode products.
+    pub stage: usize,
+    /// The intermediate tensor after `stage` products (the input at stage 0).
+    pub current: CooTensor<S>,
+}
+
+/// Start a staged chain at stage 0.
+pub fn ttm_chain_init<S: Scalar>(x: &CooTensor<S>) -> TtmChainState<S> {
+    TtmChainState {
+        stage: 0,
+        current: x.clone(),
+    }
+}
+
+/// Apply the next mode product in `chain`, advancing `state` in place.
+/// Returns `Ok(true)` when every stage has been applied.
+pub fn ttm_chain_step<S: Scalar>(
+    chain: &[(usize, &DenseMatrix<S>)],
+    state: &mut TtmChainState<S>,
+) -> Result<bool> {
+    if state.stage >= chain.len() {
+        return Ok(true);
+    }
+    let (mode, u) = chain[state.stage];
+    state.current = MultiSemiSparseTensor::from_coo(&state.current)
+        .ttm(u, mode)?
+        .to_coo();
+    state.stage += 1;
+    Ok(state.stage >= chain.len())
+}
+
 #[cfg(test)]
 mod tests {
     use std::collections::BTreeMap;

@@ -67,22 +67,27 @@ impl Default for ReadOptions {
 
 /// A bounds-checked little-endian cursor over the raw file bytes. Every
 /// accessor returns `Err` on underflow instead of panicking, so corrupt
-/// input can never reach the panicking slice paths.
-struct Cursor<'a> {
+/// input can never reach the panicking slice paths. Shared with the
+/// checkpoint reader in [`crate::ckpt`].
+pub(crate) struct Cursor<'a> {
     data: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(data: &'a [u8]) -> Self {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
         Cursor { data, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
         self.data.len() - self.pos
     }
 
-    fn take(&mut self, n: usize, section: &'static str) -> Result<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize, section: &'static str) -> Result<&'a [u8]> {
         if self.remaining() < n {
             return Err(IoError::Corrupt {
                 section,
@@ -97,16 +102,21 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self, section: &'static str) -> Result<u8> {
+    pub(crate) fn u8(&mut self, section: &'static str) -> Result<u8> {
         Ok(self.take(1, section)?[0])
     }
 
-    fn u32(&mut self, section: &'static str) -> Result<u32> {
+    pub(crate) fn u16(&mut self, section: &'static str) -> Result<u16> {
+        let b = self.take(2, section)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn u32(&mut self, section: &'static str) -> Result<u32> {
         let b = self.take(4, section)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self, section: &'static str) -> Result<u64> {
+    pub(crate) fn u64(&mut self, section: &'static str) -> Result<u64> {
         let b = self.take(8, section)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],

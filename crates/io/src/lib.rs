@@ -9,7 +9,10 @@
 //! * [`bin`] — a compact little-endian binary format for fast reloads of
 //!   generated tensors: `TNB2` with per-section CRC-32s (written by
 //!   default), with transparent read support for the legacy `TNB1` layout.
-//! * [`crc32`] — the CRC-32 used by `TNB2`.
+//! * [`ckpt`] — the `TNC1` factor-matrix checkpoint container used by
+//!   long-running decomposition jobs, with the same CRC-32-per-section
+//!   discipline as `TNB2`.
+//! * [`crc32`] — the CRC-32 used by `TNB2` and `TNC1`.
 //! * [`fault`] — fault-injection `Read`/`Write` wrappers for corruption
 //!   testing.
 //!
@@ -21,6 +24,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bin;
+pub mod ckpt;
 pub mod crc32;
 pub mod fault;
 pub mod tns;

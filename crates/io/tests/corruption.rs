@@ -12,6 +12,7 @@ use proptest::prelude::*;
 use tenbench_core::coo::CooTensor;
 use tenbench_core::shape::Shape;
 use tenbench_io::bin::{read_bin, read_bin_with, write_bin, write_bin_legacy, ReadOptions};
+use tenbench_io::ckpt::{read_ckpt, write_ckpt, Checkpoint, CheckpointMatrix};
 use tenbench_io::fault::{Fault, FaultReader, FaultWriter};
 use tenbench_io::tns;
 use tenbench_io::IoError;
@@ -154,6 +155,123 @@ fn allocation_bombs_are_rejected_within_budget() {
     let r: Result<CooTensor<f32>, _> =
         read_bin_with(bytes.as_slice(), ReadOptions { max_bytes: 1 << 20 });
     assert!(matches!(r, Err(IoError::Tensor(_))), "{r:?}");
+}
+
+// ------------------------------------------------------------------
+// TNC1 factor-matrix checkpoints: the resume path of the decomposition
+// job engine. A damaged checkpoint must read back `Err` — never a panic,
+// and never an `Ok` carrying silently-wrong factors, because the job
+// engine treats `Ok` as "safe to resume from".
+// ------------------------------------------------------------------
+
+fn sample_ckpt() -> Checkpoint<f32> {
+    Checkpoint {
+        kind: 1,
+        iteration: 5,
+        fit: 0.875,
+        matrices: vec![
+            CheckpointMatrix {
+                rows: 6,
+                cols: 4,
+                data: (0..24).map(|i| i as f32 * 0.125 - 1.0).collect(),
+            },
+            CheckpointMatrix {
+                rows: 4,
+                cols: 1,
+                data: vec![1.0, 0.5, 0.25, 0.125],
+            },
+        ],
+        blob: vec![7, 0, 1, 255, 3],
+    }
+}
+
+fn ckpt_bytes() -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_ckpt(&sample_ckpt(), &mut buf).unwrap();
+    buf
+}
+
+#[test]
+fn ckpt_truncation_at_every_offset_is_rejected() {
+    let bytes = ckpt_bytes();
+    for at in 0..bytes.len() {
+        let reader = FaultReader::truncated(bytes.as_slice(), at as u64);
+        let r: Result<Checkpoint<f32>, _> = read_ckpt(reader);
+        assert!(r.is_err(), "ckpt truncated at byte {at} was accepted");
+    }
+}
+
+#[test]
+fn ckpt_bit_flip_at_every_offset_is_rejected() {
+    // Header, every factor section, and the blob each carry a CRC-32, so
+    // any single-bit flip anywhere in the container must be caught.
+    let bytes = ckpt_bytes();
+    for at in 0..bytes.len() {
+        for mask in [0x01u8, 0x80] {
+            let reader = FaultReader::bit_flipped(bytes.as_slice(), at as u64, mask);
+            let r: Result<Checkpoint<f32>, _> = read_ckpt(reader);
+            assert!(
+                r.is_err(),
+                "ckpt bit flip at byte {at} mask {mask:#x} was accepted"
+            );
+        }
+    }
+}
+
+#[test]
+fn ckpt_fault_writer_produces_a_rejected_artifact() {
+    // A lying writer (full disk, dying process) must leave an artifact
+    // the resume path refuses rather than resumes-wrong from.
+    let full = ckpt_bytes();
+    for at in [0u64, 4, 21, full.len() as u64 - 1] {
+        let mut damaged = Vec::new();
+        let mut w = FaultWriter::truncated(&mut damaged, at);
+        write_ckpt(&sample_ckpt(), &mut w).unwrap();
+        drop(w);
+        assert_eq!(damaged.len() as u64, at);
+        let r: Result<Checkpoint<f32>, _> = read_ckpt(damaged.as_slice());
+        assert!(
+            r.is_err(),
+            "truncated ckpt artifact at {at} bytes was accepted"
+        );
+    }
+}
+
+#[test]
+fn ckpt_trailing_garbage_is_rejected() {
+    let mut bytes = ckpt_bytes();
+    bytes.extend_from_slice(b"junk");
+    let r: Result<Checkpoint<f32>, _> = read_ckpt(bytes.as_slice());
+    assert!(r.is_err(), "trailing garbage was accepted");
+}
+
+proptest! {
+    #[test]
+    fn ckpt_random_bytes_never_panic(data in prop::collection::vec(0u8..=255, 0..256)) {
+        let _ = read_ckpt::<f32, _>(data.as_slice());
+    }
+
+    #[test]
+    fn ckpt_random_multi_fault_reads_never_resume_wrong(
+        at in 0u64..512,
+        mask in 1u8..=255,
+        trunc in 0u64..512,
+    ) {
+        let bytes = ckpt_bytes();
+        let reader = FaultReader::new(
+            bytes.as_slice(),
+            vec![
+                Fault::BitFlip { at, mask },
+                Fault::Truncate { at: trunc },
+                Fault::ShortReads { max: 5 },
+            ],
+        );
+        let r: Result<Checkpoint<f32>, _> = read_ckpt(reader);
+        // Every byte of TNC1 sits under a CRC: any in-bounds damage is Err.
+        if (at as usize) < bytes.len() || (trunc as usize) < bytes.len() {
+            prop_assert!(r.is_err());
+        }
+    }
 }
 
 proptest! {

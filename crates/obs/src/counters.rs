@@ -129,11 +129,26 @@ pub static SUPERVISOR_RETRIES: Counter = Counter::new("supervisor.retries");
 /// Output validations performed by the supervisor.
 pub static VALIDATIONS: Counter = Counter::new("supervisor.validations");
 
+/// Decomposition jobs submitted to a job service.
+pub static JOB_SUBMITTED: Counter = Counter::new("job.submitted");
+/// Decomposition jobs that reached a completed terminal state.
+pub static JOB_COMPLETED: Counter = Counter::new("job.completed");
+/// Decomposition jobs that reached a failed terminal state (typed error).
+pub static JOB_FAILED: Counter = Counter::new("job.failed");
+/// Checkpoints written after accepted job iterations.
+pub static JOB_CHECKPOINTS: Counter = Counter::new("job.checkpoints");
+/// Successful resume-from-checkpoint recoveries after a step fault.
+pub static JOB_RESUMES: Counter = Counter::new("job.resumes");
+/// Corrupted checkpoints detected (CRC/parse rejection) during recovery.
+pub static JOB_CKPT_CORRUPT: Counter = Counter::new("job.checkpoint_corrupt");
+/// Faults injected by a chaos harness (panics, hangs, corruptions, bursts).
+pub static CHAOS_FAULTS: Counter = Counter::new("chaos.faults_injected");
+
 /// Worker threads installed in the process-wide pool (gauge).
 pub static POOL_WORKERS: Gauge = Gauge::new("pool.workers");
 
 /// All registered counters, in a stable order.
-pub fn all() -> [&'static Counter; 7] {
+pub fn all() -> [&'static Counter; 14] {
     [
         &FLOPS,
         &BYTES,
@@ -142,6 +157,13 @@ pub fn all() -> [&'static Counter; 7] {
         &CONVERT_BLOCKS,
         &SUPERVISOR_RETRIES,
         &VALIDATIONS,
+        &JOB_SUBMITTED,
+        &JOB_COMPLETED,
+        &JOB_FAILED,
+        &JOB_CHECKPOINTS,
+        &JOB_RESUMES,
+        &JOB_CKPT_CORRUPT,
+        &CHAOS_FAULTS,
     ]
 }
 

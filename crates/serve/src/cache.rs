@@ -18,7 +18,7 @@
 //! tensors behind stable `Arc`s is what makes that cache hit — every
 //! reuse of a `Prepared` entry re-presents the same data pointer.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use tenbench_core::coo::CooTensor;
 use tenbench_core::dense::DenseMatrix;
@@ -93,6 +93,15 @@ pub struct PrepCache {
 }
 
 impl PrepCache {
+    /// Lock the cache state, recovering from poisoning. Mutations under
+    /// this lock are position lookups plus `Vec` insert/remove — each
+    /// leaves the entry list consistent at every unwind point, so a guard
+    /// poisoned by a panicking worker is safe to keep using and one bad
+    /// request cannot take the cache down with it.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// A cache evicting past `budget_bytes` of materialized artifacts.
     pub fn new(budget_bytes: u64) -> Self {
         PrepCache {
@@ -145,7 +154,7 @@ impl PrepCache {
             factors: Arc::new(factors),
             bytes,
         });
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.lock();
         // Another worker may have prepared the same key while we did; use
         // the resident entry so schedule caching keys on one buffer.
         if let Some(at) = g.entries.iter().position(|(k, _)| *k == key) {
@@ -169,7 +178,7 @@ impl PrepCache {
     }
 
     fn touch(&self, key: CacheKey) -> Option<Arc<Prepared>> {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.lock();
         if let Some(at) = g.entries.iter().position(|(k, _)| *k == key) {
             let entry = g.entries.remove(at);
             let found = entry.1.clone();
@@ -183,7 +192,7 @@ impl PrepCache {
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
-        let g = self.inner.lock().unwrap();
+        let g = self.lock();
         CacheStats {
             hits: g.hits,
             misses: g.misses,

@@ -28,15 +28,27 @@
 //! [`service::DirectExecutor`] runs kernels inline for tests. The load
 //! generator in [`stress`] drives the service closed-loop with
 //! Zipf-skewed tensor popularity and probes overload behaviour.
+//!
+//! Above single requests, [`job`] runs the multi-iteration decomposition
+//! methods (CP-ALS, the tensor power method, the TTM-chain) as
+//! long-running supervised jobs with per-iteration checkpoint/resume and
+//! bitwise-deterministic recovery — the substrate the chaos harness in
+//! the bench crate tries (and fails) to kill.
 
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod job;
 pub mod queue;
 pub mod service;
 pub mod stress;
 
 pub use cache::{CacheKey, CacheStats, PrepCache, Prepared};
+pub use job::{
+    FaultInjector, InjectedFault, InlineStepRunner, JobConfig, JobError, JobKind, JobOutcome,
+    JobProgress, JobService, JobServiceReport, JobSpec, JobTicket, ScriptedFaults, StepRunner,
+    StepVerdict,
+};
 pub use service::{
     execute_direct, BatchJob, DirectExecutor, ExecOutcome, Executor, FormatKind, KernelService,
     RejectReason, Request, Response, ServeConfig, ServeError, ServeReport, Ticket,

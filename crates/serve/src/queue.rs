@@ -9,7 +9,7 @@
 //! left and then return `None`.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Why a push was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +35,15 @@ pub struct Bounded<T> {
 }
 
 impl<T> Bounded<T> {
+    /// Lock the queue state, recovering from poisoning. Every critical
+    /// section in this module finishes its state mutation before any call
+    /// that could unwind, so a guard poisoned by a panicking worker still
+    /// protects a consistent queue — recovering it keeps the service up
+    /// instead of cascading panics through every later request.
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// A queue admitting at most `bound` items (at least 1).
     pub fn new(bound: usize) -> Self {
         Bounded {
@@ -55,18 +64,18 @@ impl<T> Bounded<T> {
 
     /// Current queue depth.
     pub fn depth(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+        self.lock().items.len()
     }
 
     /// High-water mark of the queue depth since construction.
     pub fn max_depth(&self) -> usize {
-        self.inner.lock().unwrap().max_depth
+        self.lock().max_depth
     }
 
     /// Try to enqueue. Returns the depth after the push, or the item back
     /// with the reason it was refused.
     pub fn try_push(&self, item: T) -> Result<usize, (T, PushError)> {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.lock();
         if g.closed {
             return Err((item, PushError::Closed));
         }
@@ -84,7 +93,7 @@ impl<T> Bounded<T> {
     /// Block until an item is available and dequeue it. Returns `None`
     /// once the queue is closed and drained.
     pub fn pop(&self) -> Option<T> {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.lock();
         loop {
             if let Some(item) = g.items.pop_front() {
                 return Some(item);
@@ -92,7 +101,10 @@ impl<T> Bounded<T> {
             if g.closed {
                 return None;
             }
-            g = self.not_empty.wait(g).unwrap();
+            g = self
+                .not_empty
+                .wait(g)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -100,7 +112,7 @@ impl<T> Bounded<T> {
     /// order of everything else. Never blocks — this is how a worker
     /// claims batch-mates for the request it just popped.
     pub fn drain_where(&self, max: usize, mut pred: impl FnMut(&T) -> bool) -> Vec<T> {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.lock();
         let mut taken = Vec::new();
         let mut kept = VecDeque::with_capacity(g.items.len());
         while let Some(item) = g.items.pop_front() {
@@ -117,7 +129,7 @@ impl<T> Bounded<T> {
     /// Close the queue: future pushes fail with [`PushError::Closed`];
     /// consumers drain the remaining items and then observe `None`.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        self.lock().closed = true;
         self.not_empty.notify_all();
     }
 }

@@ -9,8 +9,9 @@
 //! the batch **once** through the pluggable [`Executor`], and fans the
 //! result out to every waiter with per-request metrics.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -112,6 +113,12 @@ pub enum ServeError {
     Rejected(RejectReason),
     /// The executor ran and failed (after whatever supervision it does).
     Failed(String),
+    /// No answer arrived within a [`Ticket::wait_timeout`] window — the
+    /// worker that owed the response is presumed gone.
+    WorkerLost {
+        /// How long the caller waited, in milliseconds.
+        waited_ms: f64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -119,6 +126,9 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Rejected(r) => write!(f, "rejected: {r}"),
             ServeError::Failed(e) => write!(f, "failed: {e}"),
+            ServeError::WorkerLost { waited_ms } => {
+                write!(f, "worker lost: no response after {waited_ms:.1} ms")
+            }
         }
     }
 }
@@ -153,6 +163,23 @@ impl Ticket {
         match self.rx.recv() {
             Ok(r) => r,
             Err(_) => Err(ServeError::Rejected(RejectReason::ShuttingDown)),
+        }
+    }
+
+    /// Block until the service answers or `timeout` elapses. Unlike
+    /// [`Ticket::wait`] — which blocks forever if the worker owing this
+    /// response dies between claiming the request and fanning out — a
+    /// timeout surfaces as the typed [`ServeError::WorkerLost`].
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Response, ServeError> {
+        let start = Instant::now();
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => r,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::WorkerLost {
+                waited_ms: start.elapsed().as_secs_f64() * 1e3,
+            }),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Err(ServeError::Rejected(RejectReason::ShuttingDown))
+            }
         }
     }
 }
@@ -359,6 +386,23 @@ struct Shared {
     rejected_full: AtomicU64,
 }
 
+/// Lock the tally, recovering from poisoning: tally updates are plain
+/// counter increments and pushes that leave the struct consistent at every
+/// unwind point, so a poisoned guard is safe to keep using.
+fn lock_tally(m: &Mutex<Tally>) -> MutexGuard<'_, Tally> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
 /// The long-running in-process kernel service.
 pub struct KernelService {
     shared: Arc<Shared>,
@@ -432,7 +476,7 @@ impl KernelService {
 
     /// Snapshot the service metrics.
     pub fn report(&self) -> ServeReport {
-        let t = self.shared.tally.lock().unwrap();
+        let t = lock_tally(&self.shared.tally);
         ServeReport::build(
             &t,
             self.started.elapsed().as_secs_f64(),
@@ -450,7 +494,7 @@ impl KernelService {
         for w in self.workers {
             let _ = w.join();
         }
-        let t = self.shared.tally.lock().unwrap();
+        let t = lock_tally(&self.shared.tally);
         ServeReport::build(
             &t,
             self.started.elapsed().as_secs_f64(),
@@ -470,7 +514,7 @@ fn worker_loop(sh: &Shared) {
         // answered with a typed rejection, not executed.
         if head.deadline_at.is_some_and(|d| now > d) {
             let queued_ms = now.duration_since(head.enqueued).as_secs_f64() * 1e3;
-            let mut t = sh.tally.lock().unwrap();
+            let mut t = lock_tally(&sh.tally);
             t.rejected_deadline += 1;
             drop(t);
             let _ = head
@@ -506,13 +550,19 @@ fn worker_loop(sh: &Shared) {
                 hicoo: prep.hicoo.clone(),
                 factors: prep.factors.clone(),
             };
-            sh.exec.execute(&job).map(|o| (o, hit))
+            // A panicking executor must not take the worker thread (and
+            // with it every queued batch-mate and the whole queue share)
+            // down: catch the unwind and surface it as a typed failure.
+            match catch_unwind(AssertUnwindSafe(|| sh.exec.execute(&job))) {
+                Ok(r) => r.map(|o| (o, hit)),
+                Err(p) => Err(format!("executor panicked: {}", panic_message(p.as_ref()))),
+            }
         });
         let exec_ms = t0.elapsed().as_secs_f64() * 1e3;
         let done = Instant::now();
         let batch_size = group.len();
 
-        let mut t = sh.tally.lock().unwrap();
+        let mut t = lock_tally(&sh.tally);
         t.batches += 1;
         t.batched_requests += batch_size as u64;
         t.exec_ms += exec_ms;
@@ -876,5 +926,83 @@ mod tests {
         }
         let report = svc.shutdown();
         assert_eq!(report.rejected_deadline, 1);
+    }
+
+    /// Panics on the first execution, then behaves like [`DirectExecutor`].
+    struct PanicOnceExecutor {
+        armed: Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl Executor for PanicOnceExecutor {
+        fn execute(&self, job: &BatchJob) -> Result<ExecOutcome, String> {
+            if self.armed.swap(false, std::sync::atomic::Ordering::AcqRel) {
+                panic!("injected executor panic");
+            }
+            execute_direct(job)
+        }
+    }
+
+    #[test]
+    fn panicking_executor_does_not_take_the_service_down() {
+        let armed = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let svc = KernelService::start(
+            ServeConfig {
+                workers: 1,
+                block_bits: 4,
+                ..ServeConfig::default()
+            },
+            Box::new(PanicOnceExecutor {
+                armed: armed.clone(),
+            }),
+        );
+        let x = tensor(11);
+        // First request trips the panic; the worker must catch it, poison
+        // nothing, and answer with a typed failure instead of dying.
+        let first = svc
+            .submit(req(&x, Kernel::Mttkrp, FormatKind::Hicoo))
+            .unwrap();
+        match first.wait() {
+            Err(ServeError::Failed(msg)) => {
+                assert!(msg.contains("panicked"), "unexpected message: {msg}")
+            }
+            other => panic!("expected Failed after panic, got {other:?}"),
+        }
+        // The same worker thread (workers = 1) and the shared cache — whose
+        // mutex the panic unwound across — must keep serving afterwards.
+        for _ in 0..3 {
+            let t = svc
+                .submit(req(&x, Kernel::Mttkrp, FormatKind::Hicoo))
+                .unwrap();
+            let r = t.wait().expect("service recovered after executor panic");
+            assert!(r.digest.is_finite());
+        }
+        let report = svc.shutdown();
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.failed, 1);
+        assert!(report.cache.hits >= 1, "cache unusable: {:?}", report.cache);
+    }
+
+    #[test]
+    fn wait_timeout_reports_worker_lost_for_stalled_response() {
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let svc = KernelService::start(
+            ServeConfig {
+                workers: 1,
+                block_bits: 4,
+                ..ServeConfig::default()
+            },
+            Box::new(GatedExecutor { gate: gate.clone() }),
+        );
+        let x = tensor(9);
+        let stalled = svc.submit(req(&x, Kernel::Ts, FormatKind::Coo)).unwrap();
+        match stalled.wait_timeout(Duration::from_millis(30)) {
+            Err(ServeError::WorkerLost { waited_ms }) => assert!(waited_ms >= 0.0),
+            other => panic!("expected WorkerLost, got {other:?}"),
+        }
+        // Release the worker so shutdown can drain cleanly; the response to
+        // the abandoned ticket is dropped on the floor, not delivered.
+        gate.store(true, std::sync::atomic::Ordering::Release);
+        let report = svc.shutdown();
+        assert_eq!(report.completed, 1);
     }
 }

@@ -67,6 +67,9 @@ pub struct ClientTally {
     pub rejected_deadline: u64,
     /// Requests whose execution failed.
     pub failed: u64,
+    /// Requests that timed out in [`crate::service::Ticket::wait_timeout`]
+    /// (typed [`ServeError::WorkerLost`]) — a lost worker, never silence.
+    pub lost: u64,
 }
 
 impl ClientTally {
@@ -76,8 +79,13 @@ impl ClientTally {
         self.rejected_full += other.rejected_full;
         self.rejected_deadline += other.rejected_deadline;
         self.failed += other.failed;
+        self.lost += other.lost;
     }
 }
+
+/// Upper bound a stress/chaos client waits for any single response before
+/// declaring the worker lost. Far above any legitimate kernel execution.
+const WAIT_CAP: Duration = Duration::from_secs(60);
 
 const KERNEL_MIX: [Kernel; 5] = [
     Kernel::Mttkrp,
@@ -130,7 +138,9 @@ pub fn closed_loop(
                             tensor,
                             deadline,
                         });
-                        match ticket.map(|t| t.wait()) {
+                        // wait_timeout, not wait: a dead worker must
+                        // surface as a typed WorkerLost, not hang a client.
+                        match ticket.map(|t| t.wait_timeout(WAIT_CAP)) {
                             Ok(Ok(_)) => tally.ok += 1,
                             Ok(Err(e)) | Err(e) => match e {
                                 ServeError::Rejected(RejectReason::QueueFull { .. }) => {
@@ -141,6 +151,7 @@ pub fn closed_loop(
                                 }
                                 ServeError::Rejected(RejectReason::ShuttingDown) => break,
                                 ServeError::Failed(_) => tally.failed += 1,
+                                ServeError::WorkerLost { .. } => tally.lost += 1,
                             },
                         }
                     }
@@ -170,6 +181,8 @@ pub struct OverloadProbe {
     pub completed: u64,
     /// Admitted but failed in execution.
     pub failed: u64,
+    /// Admitted but never answered within the wait cap (worker lost).
+    pub lost: u64,
 }
 
 /// Fire a burst of at least 4× the queue bound without waiting between
@@ -201,11 +214,12 @@ pub fn overload_probe(svc: &KernelService, pool: &[Arc<CooTensor<f32>>]) -> Over
         }
     }
     for t in tickets {
-        match t.wait() {
+        match t.wait_timeout(WAIT_CAP) {
             Ok(_) => probe.completed += 1,
             Err(ServeError::Rejected(RejectReason::DeadlineExpired { .. })) => {
                 probe.rejected_deadline += 1;
             }
+            Err(ServeError::WorkerLost { .. }) => probe.lost += 1,
             Err(_) => probe.failed += 1,
         }
     }
@@ -294,7 +308,11 @@ mod tests {
         assert!(probe.rejected_queue_full > 0, "{probe:?}");
         assert_eq!(
             probe.submitted,
-            probe.rejected_queue_full + probe.rejected_deadline + probe.completed + probe.failed
+            probe.rejected_queue_full
+                + probe.rejected_deadline
+                + probe.completed
+                + probe.failed
+                + probe.lost
         );
         let report = svc.shutdown();
         assert_eq!(report.rejected_queue_full, probe.rejected_queue_full);
