@@ -12,6 +12,9 @@
 //! tenbench ablate-mttkrp [--dataset s4] [--nnz N] [--rank R]
 //!                   [--block-bits B] [--reps K] [--threads 1,2,4,8]
 //!                   [--out results.json] [--max-seconds S]
+//! tenbench ablate-simd [--dataset s4] [--nnz N] [--ranks 4,8,16]
+//!                   [--block-bits B] [--reps K] [--out BENCH_simd.json]
+//!                   [--min-speedup X]
 //! tenbench convert-bench [--dataset s4] [--nnz N] [--block-bits B]
 //!                   [--threads 1,2,4,8] [--reps K] [--out BENCH_convert.json]
 //!                   [--min-speedup X]
@@ -45,6 +48,13 @@
 //! the hierarchical span profile, counters, and pool telemetry to the
 //! report). `report` validates and summarizes a written trace;
 //! `obs-overhead` measures the traced-vs-untraced cost of the capture.
+//!
+//! Every subcommand accepts `--backend auto|scalar|simd`: it installs a
+//! process-wide kernel-backend override (outranking the `TENBENCH_BACKEND`
+//! environment variable), so `kernel --backend scalar` times the reference
+//! loops and `ablate-simd` can be forced either way for CI equivalence
+//! runs. `serve` and `stress` additionally accept `--layout hicoo|vb-hicoo`
+//! to select the cached tensor layout the service prepares and executes.
 //!
 //! `--max-seconds` or `--fallback` switch `kernel` to supervised mode:
 //! the run executes on a watchdogged worker thread under panic isolation,
@@ -93,14 +103,21 @@ fn main() -> ExitCode {
 fn serve_config(
     get_usize: &dyn Fn(&str, usize) -> Result<usize, String>,
     block_bits: u8,
+    layout: Option<&str>,
 ) -> Result<tenbench_serve::ServeConfig, String> {
     let defaults = tenbench_serve::ServeConfig::default();
+    let layout = match layout {
+        Some(s) => tenbench_serve::PrepLayout::parse(s)
+            .ok_or_else(|| format!("bad --layout {s:?} (expected hicoo or vb-hicoo)"))?,
+        None => defaults.layout,
+    };
     Ok(tenbench_serve::ServeConfig {
         workers: get_usize("workers", defaults.workers)?,
         queue_bound: get_usize("queue-bound", defaults.queue_bound)?,
         max_batch: get_usize("max-batch", defaults.max_batch)?,
         cache_bytes: (get_usize("cache-mb", (defaults.cache_bytes >> 20) as usize)? as u64) << 20,
         block_bits,
+        layout,
     })
 }
 
@@ -134,6 +151,13 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
             .unwrap_or(Ok(default))
     };
     let block_bits = get_usize("block-bits", 7)? as u8;
+    // `--backend auto|scalar|simd` installs a process-wide override that
+    // outranks TENBENCH_BACKEND; every kernel entry point below sees it.
+    if let Some(b) = opts.get("backend") {
+        let choice = tenbench_core::simd::BackendChoice::parse(b)
+            .ok_or_else(|| format!("bad --backend {b:?} (expected auto, scalar, or simd)"))?;
+        tenbench_core::simd::force_backend(Some(choice));
+    }
     let max_seconds: Option<f64> = opts
         .get("max-seconds")
         .map(|v| v.parse().map_err(|_| "bad --max-seconds".to_string()))
@@ -273,6 +297,32 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
                 )
             })?)
         }
+        Some("ablate-simd") => {
+            let nnz = get_usize("nnz", 200_000)?;
+            let reps = get_usize("reps", 3)?;
+            let ranks: Vec<usize> = opts
+                .get("ranks")
+                .map(String::as_str)
+                .unwrap_or("4,8,16")
+                .split(',')
+                .map(|t| t.parse().map_err(|_| "bad --ranks"))
+                .collect::<Result<_, _>>()?;
+            let min_speedup: Option<f64> = opts
+                .get("min-speedup")
+                .map(|v| v.parse().map_err(|_| "bad --min-speedup".to_string()))
+                .transpose()?;
+            Ok(cli::with_obs(&obs_opts, || {
+                cli::ablate_simd(
+                    opts.get("dataset").map(String::as_str).unwrap_or("s4"),
+                    nnz,
+                    &ranks,
+                    block_bits,
+                    reps,
+                    opts.get("out").map(PathBuf::from).as_deref(),
+                    min_speedup,
+                )
+            })?)
+        }
         Some("convert-bench") => {
             let threads: Vec<usize> = opts
                 .get("threads")
@@ -369,7 +419,7 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
             )?)
         }
         Some("serve") => {
-            let serve_cfg = serve_config(&get_usize, block_bits)?;
+            let serve_cfg = serve_config(&get_usize, block_bits, opts.get("layout").map(String::as_str))?;
             Ok(cli::serve_demo(
                 opts.get("dataset").map(String::as_str).unwrap_or("s4"),
                 get_usize("nnz", 20_000)?,
@@ -379,7 +429,7 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
             )?)
         }
         Some("stress") => {
-            let serve_cfg = serve_config(&get_usize, block_bits)?;
+            let serve_cfg = serve_config(&get_usize, block_bits, opts.get("layout").map(String::as_str))?;
             let max_p99_ms: Option<f64> = opts
                 .get("max-p99-ms")
                 .map(|v| v.parse().map_err(|_| "bad --max-p99-ms".to_string()))
@@ -447,6 +497,6 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
             };
             Ok(cli::chaos(&chaos_opts)?)
         }
-        _ => Err("usage: tenbench <convert|stats|generate|kernel|ablate-mttkrp|convert-bench|scale-bench|verify|report|obs-overhead|serve|stress|chaos> ... (see the module docs)".into()),
+        _ => Err("usage: tenbench <convert|stats|generate|kernel|ablate-mttkrp|ablate-simd|convert-bench|scale-bench|verify|report|obs-overhead|serve|stress|chaos> ... (see the module docs)".into()),
     }
 }

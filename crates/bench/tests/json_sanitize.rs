@@ -16,16 +16,19 @@ fn poisoned_report() -> RunReport {
         attempts: vec![
             Attempt {
                 strategy: "scheduled".to_string(),
+                backend: Some("simd".to_string()),
                 outcome: AttemptOutcome::Ok { time_s: f64::NAN },
             },
             Attempt {
                 strategy: "atomic".to_string(),
+                backend: None,
                 outcome: AttemptOutcome::Ok {
                     time_s: f64::INFINITY,
                 },
             },
         ],
         strategy: Some("scheduled".to_string()),
+        backend: Some("simd".to_string()),
         time_s: Some(f64::NAN),
         validate_s: Some(f64::NEG_INFINITY),
         checksum: Some(f64::INFINITY),

@@ -18,6 +18,7 @@ use tenbench_core::dense::DenseMatrix;
 use tenbench_core::hicoo::HicooTensor;
 use tenbench_core::kernels::mttkrp::{self, MttkrpStrategy};
 use tenbench_core::shape::Shape;
+use tenbench_core::simd::KernelBackend;
 
 fn make_tensor(seed: u32) -> CooTensor<f32> {
     CooTensor::from_entries(
@@ -33,6 +34,64 @@ fn make_tensor(seed: u32) -> CooTensor<f32> {
             .collect(),
     )
     .unwrap()
+}
+
+/// Fault injection on the backend axis: the SIMD-backend attempt of the
+/// requested strategy dies, and the supervisor must fall back to the
+/// *scalar backend of the same strategy* — not skip to the next strategy —
+/// with a reference-matching checksum, recording which backend ran in the
+/// report and in every attempt.
+#[test]
+fn simd_fault_recovers_on_scalar_backend_before_changing_strategy() {
+    let x = Arc::new(make_tensor(3));
+    let factors = Arc::new(make_factors(&x, 4));
+    let hx = Arc::new(HicooTensor::from_coo(&x, 2).unwrap());
+    let cfg = SupervisorConfig {
+        max_retries: 0,
+        ..Default::default()
+    };
+    let reference = mttkrp_reference_digest(&x, &factors, 0, cfg.sample).unwrap();
+
+    // The chain `mttkrp_hicoo_trials_with_backend` would build under an
+    // active SIMD backend, with the SIMD step replaced by an injected
+    // fault.
+    let (fa, ha) = (factors.clone(), hx.clone());
+    let trials = vec![
+        Trial::with_backend(
+            "scheduled",
+            KernelBackend::Simd,
+            || -> Result<DenseMatrix<f32>, String> { panic!("injected SIMD fault") },
+        ),
+        Trial::with_backend("scheduled", KernelBackend::Scalar, move || {
+            let frefs: Vec<&DenseMatrix<f32>> = fa.iter().collect();
+            mttkrp::mttkrp_hicoo_sched_backend(&ha, &frefs, 0, KernelBackend::Scalar)
+                .map_err(|e| e.to_string())
+        }),
+        Trial::new("atomic", || -> Result<DenseMatrix<f32>, String> {
+            panic!("strategy fallback must not be reached")
+        }),
+    ];
+    let (report, out) = supervise(
+        "mttkrp/hicoo/backend-fault",
+        &trials,
+        |m| validate_matrix(m, &reference, cfg.sample, cfg.rel_tol),
+        &cfg,
+    );
+    assert!(out.is_some(), "{}", report.summary());
+    assert!(
+        matches!(&report.status, RunStatus::Recovered { from } if from == "scheduled"),
+        "{:?}",
+        report.status
+    );
+    assert_eq!(report.strategy.as_deref(), Some("scheduled"));
+    assert_eq!(report.backend.as_deref(), Some("scalar"));
+    assert!(report.checksum.is_some());
+    assert_eq!(report.attempts.len(), 2);
+    assert_eq!(report.attempts[0].backend.as_deref(), Some("simd"));
+    assert_eq!(report.attempts[1].backend.as_deref(), Some("scalar"));
+    let json = report.to_json();
+    assert!(json.contains("\"backend\": \"scalar\""), "{json}");
+    assert!(json.contains("\"backend\": \"simd\""), "{json}");
 }
 
 #[test]

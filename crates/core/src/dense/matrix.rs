@@ -7,14 +7,20 @@
 
 use std::ops::{Index, IndexMut};
 
+use crate::align::AlignedVec;
 use crate::scalar::Scalar;
 
 /// A dense `rows x cols` matrix in row-major order.
+///
+/// Values live in an [`AlignedVec`], so `data()` (and row 0) always starts
+/// on a 64-byte boundary — the SIMD backend's vector loads never straddle
+/// a cache line at the buffer head, and the value-blocked HiCOO layout can
+/// assume factor storage alignment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DenseMatrix<S: Scalar> {
     rows: usize,
     cols: usize,
-    data: Vec<S>,
+    data: AlignedVec<S>,
 }
 
 impl<S: Scalar> DenseMatrix<S> {
@@ -23,7 +29,7 @@ impl<S: Scalar> DenseMatrix<S> {
         DenseMatrix {
             rows,
             cols,
-            data: vec![S::ZERO; rows * cols],
+            data: AlignedVec::filled(rows * cols, S::ZERO),
         }
     }
 
@@ -37,7 +43,7 @@ impl<S: Scalar> DenseMatrix<S> {
         DenseMatrix {
             rows,
             cols,
-            data: crate::par::first_touch_filled(rows * cols, S::ZERO),
+            data: AlignedVec::first_touch_filled(rows * cols, S::ZERO),
         }
     }
 
@@ -46,7 +52,7 @@ impl<S: Scalar> DenseMatrix<S> {
         DenseMatrix {
             rows,
             cols,
-            data: vec![v; rows * cols],
+            data: AlignedVec::filled(rows * cols, v),
         }
     }
 
@@ -56,7 +62,11 @@ impl<S: Scalar> DenseMatrix<S> {
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<S>) -> Self {
         assert_eq!(data.len(), rows * cols, "data length must be rows*cols");
-        DenseMatrix { rows, cols, data }
+        DenseMatrix {
+            rows,
+            cols,
+            data: data.into(),
+        }
     }
 
     /// Build by evaluating `f(row, col)` at every position.
@@ -67,7 +77,11 @@ impl<S: Scalar> DenseMatrix<S> {
                 data.push(f(i, j));
             }
         }
-        DenseMatrix { rows, cols, data }
+        DenseMatrix {
+            rows,
+            cols,
+            data: data.into(),
+        }
     }
 
     /// Number of rows.
@@ -140,16 +154,16 @@ impl<S: Scalar> DenseMatrix<S> {
     /// Panics on shape mismatch.
     pub fn hadamard(&self, other: &DenseMatrix<S>) -> DenseMatrix<S> {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let data = self
+        let data: Vec<S> = self
             .data
             .iter()
-            .zip(&other.data)
+            .zip(other.data.iter())
             .map(|(&a, &b)| a * b)
             .collect();
         DenseMatrix {
             rows: self.rows,
             cols: self.cols,
-            data,
+            data: data.into(),
         }
     }
 
@@ -330,5 +344,23 @@ mod tests {
     fn frobenius_norm_matches_hand_value() {
         let a = DenseMatrix::from_vec(1, 2, vec![3.0f32, 4.0]);
         assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn storage_is_simd_aligned() {
+        use crate::align::SIMD_ALIGN;
+        // Every constructor must produce 64-byte-aligned value storage so
+        // the SIMD backend's loads never straddle a line at the head.
+        let z = DenseMatrix::<f32>::zeros(5, 7);
+        let zp = DenseMatrix::<f64>::zeros_par(13, 3);
+        let c = DenseMatrix::constant(4, 4, 1.5f32);
+        let v = DenseMatrix::from_vec(2, 3, vec![0.0f64; 6]);
+        let f = DenseMatrix::from_fn(3, 3, |i, j| (i + j) as f32);
+        assert_eq!(z.data().as_ptr() as usize % SIMD_ALIGN, 0);
+        assert_eq!(zp.data().as_ptr() as usize % SIMD_ALIGN, 0);
+        assert_eq!(c.data().as_ptr() as usize % SIMD_ALIGN, 0);
+        assert_eq!(v.data().as_ptr() as usize % SIMD_ALIGN, 0);
+        assert_eq!(f.data().as_ptr() as usize % SIMD_ALIGN, 0);
+        assert_eq!(f.clone().data().as_ptr() as usize % SIMD_ALIGN, 0);
     }
 }

@@ -26,16 +26,18 @@ use rayon::prelude::*;
 
 use tenbench_obs as obs;
 
+use crate::align::AlignedVec;
 use crate::analysis;
 use crate::atomic::AtomicScalar;
 use crate::coo::CooTensor;
 use crate::dense::DenseMatrix;
 use crate::error::{Result, TensorError};
-use crate::hicoo::HicooTensor;
+use crate::hicoo::{HicooTensor, VbHicooTensor};
 use crate::par::ScratchArena;
 use crate::scalar::Scalar;
 use crate::sched::{ModeSchedule, RowSchedule};
 use crate::shape::Shape;
+use crate::simd::{self, KernelBackend};
 
 /// Charge one COO Mttkrp invocation to the obs counters using the paper's
 /// Table 1 cost model (`analysis::mttkrp_coo_cost`).
@@ -64,6 +66,23 @@ fn charge_hicoo<S: Scalar>(h: &HicooTensor<S>, r: usize) {
     }
 }
 
+/// Charge one vb-HiCOO Mttkrp invocation (same cost model as HiCOO — the
+/// padding only moves storage, not work).
+fn charge_vb<S: Scalar>(x: &VbHicooTensor<S>, r: usize) {
+    if obs::counters::counters_enabled() {
+        let c = analysis::mttkrp_hicoo_cost(
+            x.order(),
+            x.nnz() as u64,
+            r as u64,
+            x.num_blocks() as u64,
+            1u64 << x.block_bits(),
+        );
+        obs::counters::FLOPS.add(c.flops);
+        obs::counters::BYTES.add(c.bytes);
+        obs::counters::KERNEL_CALLS.add(1);
+    }
+}
+
 /// Parallelization strategy for COO Mttkrp.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MttkrpStrategy {
@@ -81,25 +100,6 @@ pub enum MttkrpStrategy {
     /// [`crate::sched::RowSchedule`]) so tasks own disjoint output stripes.
     /// Atomic-free, lock-free, and bitwise-deterministic.
     Scheduled,
-}
-
-/// Run `body` with a zeroed scratch buffer of length `r`. The common
-/// benchmark ranks get stack buffers of const length, so after inlining the
-/// rank is a compile-time constant in the hot loops (LLVM unrolls and
-/// vectorizes them); other ranks fall back to a heap buffer.
-#[inline]
-fn with_rank_scratch<S: Scalar, T>(r: usize, body: impl FnOnce(&mut [S]) -> T) -> T {
-    #[inline(always)]
-    fn fixed<S: Scalar, T, const N: usize>(body: impl FnOnce(&mut [S]) -> T) -> T {
-        let mut buf = [S::ZERO; N];
-        body(&mut buf)
-    }
-    match r {
-        4 => fixed::<S, T, 4>(body),
-        8 => fixed::<S, T, 8>(body),
-        16 => fixed::<S, T, 16>(body),
-        _ => body(&mut vec![S::ZERO; r]),
-    }
 }
 
 /// Split `data` (a row-major matrix with `r` columns) into one `&mut` slice
@@ -160,24 +160,58 @@ fn check_factors<S: Scalar>(
     Ok(r)
 }
 
-/// Accumulate the contribution of nonzero `z` into `row` (length `R`).
+/// Collect the non-mode factor rows of COO nonzero `z` into `rows` (reused
+/// across nonzeros to avoid reallocation).
+///
+/// The rank loop is the SIMD backend's target: the gathered rows feed one
+/// fused [`simd::accum_rows`] / [`simd::product_rows`] call per nonzero —
+/// `#[target_feature]` code cannot inline into scalar callers, so splitting
+/// the body into fill/mul/add primitives costs 3-4 dispatched calls of ~2
+/// vectors each and loses to the auto-vectorized scalar loop. The fused
+/// body keeps the per-element product order of the scratch flow, so both
+/// backends stay bitwise-identical.
 #[inline]
-fn scale_rows<S: Scalar>(
+fn gather_rows<'a, S: Scalar>(
     x: &CooTensor<S>,
-    factors: &[&DenseMatrix<S>],
+    factors: &[&'a DenseMatrix<S>],
     mode: usize,
     z: usize,
-    scratch: &mut [S],
+    rows: &mut Vec<&'a [S]>,
 ) {
-    let val = x.vals()[z];
-    scratch.fill(val);
+    rows.clear();
     for (m, f) in factors.iter().enumerate() {
-        if m == mode {
-            continue;
+        if m != mode {
+            rows.push(f.row(x.mode_inds(m)[z] as usize));
         }
-        let row = f.row(x.mode_inds(m)[z] as usize);
-        for (s, &c) in scratch.iter_mut().zip(row) {
-            *s *= c;
+    }
+}
+
+/// The two non-`mode` mode indices of an order-3 tensor, ascending (the
+/// same order the scratch flow multiplies factors in).
+#[inline]
+fn non_mode_pair(mode: usize) -> (usize, usize) {
+    match mode {
+        0 => (1, 2),
+        1 => (0, 2),
+        _ => (0, 1),
+    }
+}
+
+/// Collect the non-mode factor rows of blocked nonzero `z` (HiCOO / vb-
+/// HiCOO: row index = block base + element offset) into `rows`.
+#[inline]
+fn gather_block_rows<'a, S: Scalar>(
+    einds: &[Vec<u8>],
+    base: &[usize],
+    factors: &[&'a DenseMatrix<S>],
+    mode: usize,
+    z: usize,
+    rows: &mut Vec<&'a [S]>,
+) {
+    rows.clear();
+    for (m, f) in factors.iter().enumerate() {
+        if m != mode {
+            rows.push(f.row(base[m] + einds[m][z] as usize));
         }
     }
 }
@@ -188,18 +222,27 @@ pub fn mttkrp_seq<S: Scalar>(
     factors: &[&DenseMatrix<S>],
     mode: usize,
 ) -> Result<DenseMatrix<S>> {
+    mttkrp_seq_backend(x, factors, mode, simd::current_backend())
+}
+
+/// Sequential COO Mttkrp with an explicit backend.
+pub fn mttkrp_seq_backend<S: Scalar>(
+    x: &CooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+    backend: KernelBackend,
+) -> Result<DenseMatrix<S>> {
     let r = check_factors(x.shape(), factors, mode)?;
     let _span = obs::span!("mttkrp.seq");
     charge_coo(x, r);
+    simd::note_dispatch(backend);
     let mut out = DenseMatrix::zeros(x.shape().dim(mode) as usize, r);
-    let mut scratch = vec![S::ZERO; r];
     let rows = x.mode_inds(mode);
+    let mut rows_buf = Vec::with_capacity(factors.len());
     for z in 0..x.nnz() {
-        scale_rows(x, factors, mode, z, &mut scratch);
+        gather_rows(x, factors, mode, z, &mut rows_buf);
         let dst = out.row_mut(rows[z] as usize);
-        for (d, &s) in dst.iter_mut().zip(&scratch) {
-            *d += s;
-        }
+        simd::accum_rows(backend, dst, x.vals()[z], &rows_buf);
     }
     Ok(out)
 }
@@ -211,21 +254,34 @@ pub fn mttkrp_atomic<S: Scalar>(
     factors: &[&DenseMatrix<S>],
     mode: usize,
 ) -> Result<DenseMatrix<S>> {
+    mttkrp_atomic_backend(x, factors, mode, simd::current_backend())
+}
+
+/// Atomic COO Mttkrp with an explicit backend.
+pub fn mttkrp_atomic_backend<S: Scalar>(
+    x: &CooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+    backend: KernelBackend,
+) -> Result<DenseMatrix<S>> {
     let r = check_factors(x.shape(), factors, mode)?;
     let _span = obs::span!("mttkrp.atomic");
     charge_coo(x, r);
+    simd::note_dispatch(backend);
     let mut out = DenseMatrix::zeros_par(x.shape().dim(mode) as usize, r);
     {
         let cells = S::as_atomic_slice(out.data_mut());
         let rows = x.mode_inds(mode);
         let m = x.nnz();
         let grain = 1024usize;
-        let arena = ScratchArena::new(|| vec![S::ZERO; r]);
+        let arena = ScratchArena::new(|| AlignedVec::filled(r, S::ZERO));
         (0..m.div_ceil(grain)).into_par_iter().for_each(|c| {
             arena.with(|scratch| {
+                let mut rows_buf = Vec::with_capacity(factors.len());
                 let end = ((c + 1) * grain).min(m);
                 for z in c * grain..end {
-                    scale_rows(x, factors, mode, z, scratch);
+                    gather_rows(x, factors, mode, z, &mut rows_buf);
+                    simd::product_rows(backend, scratch, x.vals()[z], &rows_buf);
                     let base = rows[z] as usize * r;
                     for (k, &s) in scratch.iter().enumerate() {
                         cells[base + k].fetch_add(s);
@@ -249,9 +305,20 @@ pub fn mttkrp_privatized<S: Scalar>(
     factors: &[&DenseMatrix<S>],
     mode: usize,
 ) -> Result<DenseMatrix<S>> {
+    mttkrp_privatized_backend(x, factors, mode, simd::current_backend())
+}
+
+/// Privatized COO Mttkrp with an explicit backend.
+pub fn mttkrp_privatized_backend<S: Scalar>(
+    x: &CooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+    backend: KernelBackend,
+) -> Result<DenseMatrix<S>> {
     let r = check_factors(x.shape(), factors, mode)?;
     let _span = obs::span!("mttkrp.privatized");
     charge_coo(x, r);
+    simd::note_dispatch(backend);
     let rows_n = x.shape().dim(mode) as usize;
     let rows = x.mode_inds(mode);
     let m = x.nnz();
@@ -260,7 +327,7 @@ pub fn mttkrp_privatized<S: Scalar>(
     let next = AtomicUsize::new(0);
     let partials: Vec<DenseMatrix<S>> = rayon::broadcast(|_ctx| {
         let mut local: Option<DenseMatrix<S>> = None;
-        let mut scratch = vec![S::ZERO; r];
+        let mut rows_buf = Vec::with_capacity(factors.len());
         loop {
             let c = next.fetch_add(1, Ordering::Relaxed);
             if c >= nchunks {
@@ -269,11 +336,9 @@ pub fn mttkrp_privatized<S: Scalar>(
             let acc = local.get_or_insert_with(|| DenseMatrix::zeros(rows_n, r));
             let end = ((c + 1) * grain).min(m);
             for z in c * grain..end {
-                scale_rows(x, factors, mode, z, &mut scratch);
+                gather_rows(x, factors, mode, z, &mut rows_buf);
                 let dst = acc.row_mut(rows[z] as usize);
-                for (d, &s) in dst.iter_mut().zip(&scratch) {
-                    *d += s;
-                }
+                simd::accum_rows(backend, dst, x.vals()[z], &rows_buf);
             }
         }
         local
@@ -290,9 +355,7 @@ pub fn mttkrp_privatized<S: Scalar>(
             let base = ci * stripe;
             for p in &partials {
                 let src = &p.data()[base..base + dst.len()];
-                for (d, &s) in dst.iter_mut().zip(src) {
-                    *d += s;
-                }
+                simd::add_assign(backend, dst, src);
             }
         });
     Ok(out)
@@ -304,9 +367,20 @@ pub fn mttkrp_row_locked<S: Scalar>(
     factors: &[&DenseMatrix<S>],
     mode: usize,
 ) -> Result<DenseMatrix<S>> {
+    mttkrp_row_locked_backend(x, factors, mode, simd::current_backend())
+}
+
+/// Row-locked COO Mttkrp with an explicit backend.
+pub fn mttkrp_row_locked_backend<S: Scalar>(
+    x: &CooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+    backend: KernelBackend,
+) -> Result<DenseMatrix<S>> {
     let r = check_factors(x.shape(), factors, mode)?;
     let _span = obs::span!("mttkrp.row_locked");
     charge_coo(x, r);
+    simd::note_dispatch(backend);
     let rows_n = x.shape().dim(mode) as usize;
     let locked: Vec<parking_lot::Mutex<Vec<S>>> = (0..rows_n)
         .map(|_| parking_lot::Mutex::new(vec![S::ZERO; r]))
@@ -314,16 +388,16 @@ pub fn mttkrp_row_locked<S: Scalar>(
     let rows = x.mode_inds(mode);
     let m = x.nnz();
     let grain = 1024usize;
-    let arena = ScratchArena::new(|| vec![S::ZERO; r]);
+    let arena = ScratchArena::new(|| AlignedVec::filled(r, S::ZERO));
     (0..m.div_ceil(grain)).into_par_iter().for_each(|c| {
         arena.with(|scratch| {
+            let mut rows_buf = Vec::with_capacity(factors.len());
             let end = ((c + 1) * grain).min(m);
             for z in c * grain..end {
-                scale_rows(x, factors, mode, z, scratch);
+                gather_rows(x, factors, mode, z, &mut rows_buf);
+                simd::product_rows(backend, scratch, x.vals()[z], &rows_buf);
                 let mut row = locked[rows[z] as usize].lock();
-                for (d, &s) in row.iter_mut().zip(&*scratch) {
-                    *d += s;
-                }
+                simd::add_assign(backend, &mut row, scratch);
             }
         });
     });
@@ -346,6 +420,18 @@ pub fn mttkrp_sched<S: Scalar>(
     mttkrp_sched_with(x, factors, mode, &sched)
 }
 
+/// Scheduled COO Mttkrp with an explicit backend (cached schedule).
+pub fn mttkrp_sched_backend<S: Scalar>(
+    x: &CooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+    backend: KernelBackend,
+) -> Result<DenseMatrix<S>> {
+    check_factors(x.shape(), factors, mode)?;
+    let sched = crate::sched::row_schedule(x, mode);
+    mttkrp_sched_with_backend(x, factors, mode, &sched, backend)
+}
+
 /// Output-partitioned COO Mttkrp against a prebuilt [`RowSchedule`].
 ///
 /// Every task owns a contiguous output row range; within it, rows are
@@ -358,6 +444,20 @@ pub fn mttkrp_sched_with<S: Scalar>(
     mode: usize,
     sched: &RowSchedule,
 ) -> Result<DenseMatrix<S>> {
+    mttkrp_sched_with_backend(x, factors, mode, sched, simd::current_backend())
+}
+
+/// Scheduled COO Mttkrp against a prebuilt schedule, with an explicit
+/// backend. The backend only changes *how* each lane-wise product is
+/// computed, never the accumulation order, so results stay bitwise
+/// identical across backends, runs, and thread counts.
+pub fn mttkrp_sched_with_backend<S: Scalar>(
+    x: &CooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+    sched: &RowSchedule,
+    backend: KernelBackend,
+) -> Result<DenseMatrix<S>> {
     let r = check_factors(x.shape(), factors, mode)?;
     if sched.mode() != mode {
         return Err(TensorError::FactorMismatch(format!(
@@ -367,6 +467,7 @@ pub fn mttkrp_sched_with<S: Scalar>(
     }
     let _span = obs::span!("mttkrp.scheduled");
     charge_coo(x, r);
+    simd::note_dispatch(backend);
     let rows_n = x.shape().dim(mode) as usize;
     let mut out = DenseMatrix::zeros_par(rows_n, r);
     let mut tasks = split_row_ranges(
@@ -377,34 +478,44 @@ pub fn mttkrp_sched_with<S: Scalar>(
     tasks.par_iter_mut().for_each(|(row_base, slice)| {
         let row_base = *row_base;
         let slice = &mut **slice;
-        with_rank_scratch::<S, _>(r, |scratch| {
-            for i in row_base..row_base + slice.len() / r {
-                let dst = &mut slice[(i - row_base) * r..][..r];
-                for &z in sched.row_entries(i) {
-                    scale_rows(x, factors, mode, z as usize, scratch);
-                    for (d, &s) in dst.iter_mut().zip(&*scratch) {
-                        *d += s;
-                    }
-                }
+        let mut rows_buf = Vec::with_capacity(factors.len());
+        for i in row_base..row_base + slice.len() / r {
+            let dst = &mut slice[(i - row_base) * r..][..r];
+            for &z in sched.row_entries(i) {
+                let z = z as usize;
+                gather_rows(x, factors, mode, z, &mut rows_buf);
+                simd::accum_rows(backend, dst, x.vals()[z], &rows_buf);
             }
-        });
+        }
     });
     Ok(out)
 }
 
-/// COO Mttkrp with an explicit strategy.
+/// COO Mttkrp with an explicit strategy (ambient backend).
 pub fn mttkrp_with<S: Scalar>(
     x: &CooTensor<S>,
     factors: &[&DenseMatrix<S>],
     mode: usize,
     strategy: MttkrpStrategy,
 ) -> Result<DenseMatrix<S>> {
+    mttkrp_with_backend(x, factors, mode, strategy, simd::current_backend())
+}
+
+/// COO Mttkrp with an explicit strategy *and* backend — the entry point
+/// the supervisor's per-cell (strategy, backend) fallback chain drives.
+pub fn mttkrp_with_backend<S: Scalar>(
+    x: &CooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+    strategy: MttkrpStrategy,
+    backend: KernelBackend,
+) -> Result<DenseMatrix<S>> {
     match strategy {
-        MttkrpStrategy::Seq => mttkrp_seq(x, factors, mode),
-        MttkrpStrategy::Atomic => mttkrp_atomic(x, factors, mode),
-        MttkrpStrategy::Privatized => mttkrp_privatized(x, factors, mode),
-        MttkrpStrategy::RowLocked => mttkrp_row_locked(x, factors, mode),
-        MttkrpStrategy::Scheduled => mttkrp_sched(x, factors, mode),
+        MttkrpStrategy::Seq => mttkrp_seq_backend(x, factors, mode, backend),
+        MttkrpStrategy::Atomic => mttkrp_atomic_backend(x, factors, mode, backend),
+        MttkrpStrategy::Privatized => mttkrp_privatized_backend(x, factors, mode, backend),
+        MttkrpStrategy::RowLocked => mttkrp_row_locked_backend(x, factors, mode, backend),
+        MttkrpStrategy::Scheduled => mttkrp_sched_backend(x, factors, mode, backend),
     }
 }
 
@@ -445,33 +556,36 @@ pub fn mttkrp_hicoo<S: Scalar>(
     factors: &[&DenseMatrix<S>],
     mode: usize,
 ) -> Result<DenseMatrix<S>> {
+    mttkrp_hicoo_backend(h, factors, mode, simd::current_backend())
+}
+
+/// Block-parallel atomic HiCOO Mttkrp with an explicit backend.
+pub fn mttkrp_hicoo_backend<S: Scalar>(
+    h: &HicooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+    backend: KernelBackend,
+) -> Result<DenseMatrix<S>> {
     let r = check_factors(h.shape(), factors, mode)?;
     let _span = obs::span!("mttkrp.hicoo");
     charge_hicoo(h, r);
+    simd::note_dispatch(backend);
     let mut out = DenseMatrix::zeros_par(h.shape().dim(mode) as usize, r);
     let bits = h.block_bits();
     {
         let cells = S::as_atomic_slice(out.data_mut());
         let order = h.order();
-        let arena = ScratchArena::new(|| (vec![S::ZERO; r], vec![0usize; order]));
+        let arena = ScratchArena::new(|| (AlignedVec::filled(r, S::ZERO), vec![0usize; order]));
         (0..h.num_blocks()).into_par_iter().for_each(|b| {
             arena.with(|(scratch, base)| {
+                let mut rows_buf = Vec::with_capacity(order);
                 // Base row offsets of this block in every factor matrix.
                 for m in 0..order {
                     base[m] = (h.block_ind(b, m) as usize) << bits;
                 }
                 for z in h.block_range(b) {
-                    let val = h.vals()[z];
-                    scratch.fill(val);
-                    for (m, f) in factors.iter().enumerate() {
-                        if m == mode {
-                            continue;
-                        }
-                        let row = f.row(base[m] + h.einds()[m][z] as usize);
-                        for (s, &c) in scratch.iter_mut().zip(row) {
-                            *s *= c;
-                        }
-                    }
+                    gather_block_rows(h.einds(), base, factors, mode, z, &mut rows_buf);
+                    simd::product_rows(backend, scratch, h.vals()[z], &rows_buf);
                     let out_row = base[mode] + h.einds()[mode][z] as usize;
                     for (k, &s) in scratch.iter().enumerate() {
                         cells[out_row * r + k].fetch_add(s);
@@ -495,6 +609,18 @@ pub fn mttkrp_hicoo_sched<S: Scalar>(
     mttkrp_hicoo_sched_with(h, factors, mode, &sched)
 }
 
+/// Scheduled HiCOO Mttkrp with an explicit backend (cached schedule).
+pub fn mttkrp_hicoo_sched_backend<S: Scalar>(
+    h: &HicooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+    backend: KernelBackend,
+) -> Result<DenseMatrix<S>> {
+    check_factors(h.shape(), factors, mode)?;
+    let sched = crate::sched::mode_schedule(h, mode);
+    mttkrp_hicoo_sched_with_backend(h, factors, mode, &sched, backend)
+}
+
 /// Output-partitioned HiCOO Mttkrp against a prebuilt [`ModeSchedule`].
 ///
 /// All blocks that write a given output row block are grouped into the same
@@ -508,6 +634,20 @@ pub fn mttkrp_hicoo_sched_with<S: Scalar>(
     mode: usize,
     sched: &ModeSchedule,
 ) -> Result<DenseMatrix<S>> {
+    mttkrp_hicoo_sched_with_backend(h, factors, mode, sched, simd::current_backend())
+}
+
+/// Scheduled HiCOO Mttkrp against a prebuilt [`ModeSchedule`] with an
+/// explicit backend — the strategy CP-ALS pins, now vectorized. Backend
+/// choice never changes the accumulation order, so results stay bitwise
+/// identical across backends, runs, and thread counts.
+pub fn mttkrp_hicoo_sched_with_backend<S: Scalar>(
+    h: &HicooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+    sched: &ModeSchedule,
+    backend: KernelBackend,
+) -> Result<DenseMatrix<S>> {
     let r = check_factors(h.shape(), factors, mode)?;
     if sched.mode() != mode {
         return Err(TensorError::FactorMismatch(format!(
@@ -517,6 +657,7 @@ pub fn mttkrp_hicoo_sched_with<S: Scalar>(
     }
     let _span = obs::span!("mttkrp.hicoo.scheduled");
     charge_hicoo(h, r);
+    simd::note_dispatch(backend);
     let rows_n = h.shape().dim(mode) as usize;
     let mut out = DenseMatrix::zeros_par(rows_n, r);
     let bits = h.block_bits();
@@ -526,37 +667,47 @@ pub fn mttkrp_hicoo_sched_with<S: Scalar>(
         r,
         (0..sched.num_tasks()).map(|t| sched.task_row_range(t, rows_n)),
     );
+    // Order-3 fast path: one fused call per *block*, so the dispatch
+    // boundary is crossed per block rather than per nonzero.
+    let three = (order == 3).then(|| non_mode_pair(mode));
     tasks.par_iter_mut().enumerate().for_each(|(t, task)| {
         let (row_base, slice) = (task.0, &mut *task.1);
-        with_rank_scratch::<S, _>(r, |scratch| {
-            let mut base = vec![0usize; order];
-            for g in sched.task_groups(t) {
-                for &b in sched.group_blocks(g) {
-                    let b = b as usize;
-                    for m in 0..order {
-                        base[m] = (h.block_ind(b, m) as usize) << bits;
-                    }
-                    for z in h.block_range(b) {
-                        let val = h.vals()[z];
-                        scratch.fill(val);
-                        for (m, f) in factors.iter().enumerate() {
-                            if m == mode {
-                                continue;
-                            }
-                            let row = f.row(base[m] + h.einds()[m][z] as usize);
-                            for (s, &c) in scratch.iter_mut().zip(row) {
-                                *s *= c;
-                            }
-                        }
-                        let out_row = base[mode] + h.einds()[mode][z] as usize;
-                        let dst = &mut slice[(out_row - row_base) * r..][..r];
-                        for (d, &s) in dst.iter_mut().zip(&*scratch) {
-                            *d += s;
-                        }
-                    }
+        let mut base = vec![0usize; order];
+        let mut rows_buf = Vec::with_capacity(order);
+        for g in sched.task_groups(t) {
+            for &b in sched.group_blocks(g) {
+                let b = b as usize;
+                for m in 0..order {
+                    base[m] = (h.block_ind(b, m) as usize) << bits;
+                }
+                if let Some((ma, mb)) = three {
+                    let zs = h.block_range(b);
+                    simd::mttkrp_block3(
+                        backend,
+                        slice,
+                        row_base,
+                        r,
+                        &h.vals()[zs.clone()],
+                        zs,
+                        &h.einds()[mode],
+                        base[mode],
+                        factors[ma].data(),
+                        &h.einds()[ma],
+                        base[ma],
+                        factors[mb].data(),
+                        &h.einds()[mb],
+                        base[mb],
+                    );
+                    continue;
+                }
+                for z in h.block_range(b) {
+                    gather_block_rows(h.einds(), &base, factors, mode, z, &mut rows_buf);
+                    let out_row = base[mode] + h.einds()[mode][z] as usize;
+                    let dst = &mut slice[(out_row - row_base) * r..][..r];
+                    simd::accum_rows(backend, dst, h.vals()[z], &rows_buf);
                 }
             }
-        });
+        }
     });
     Ok(out)
 }
@@ -567,33 +718,214 @@ pub fn mttkrp_hicoo_seq<S: Scalar>(
     factors: &[&DenseMatrix<S>],
     mode: usize,
 ) -> Result<DenseMatrix<S>> {
+    mttkrp_hicoo_seq_backend(h, factors, mode, simd::current_backend())
+}
+
+/// Sequential HiCOO Mttkrp with an explicit backend.
+pub fn mttkrp_hicoo_seq_backend<S: Scalar>(
+    h: &HicooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+    backend: KernelBackend,
+) -> Result<DenseMatrix<S>> {
     let r = check_factors(h.shape(), factors, mode)?;
     let _span = obs::span!("mttkrp.hicoo.seq");
     charge_hicoo(h, r);
+    simd::note_dispatch(backend);
     let mut out = DenseMatrix::zeros(h.shape().dim(mode) as usize, r);
     let bits = h.block_bits();
     let order = h.order();
-    let mut scratch = vec![S::ZERO; r];
+    let mut rows_buf = Vec::with_capacity(order);
     for b in 0..h.num_blocks() {
         let base: Vec<usize> = (0..order)
             .map(|m| (h.block_ind(b, m) as usize) << bits)
             .collect();
         for z in h.block_range(b) {
-            let val = h.vals()[z];
-            scratch.fill(val);
-            for (m, f) in factors.iter().enumerate() {
-                if m == mode {
+            gather_block_rows(h.einds(), &base, factors, mode, z, &mut rows_buf);
+            let dst = out.row_mut(base[mode] + h.einds()[mode][z] as usize);
+            simd::accum_rows(backend, dst, h.vals()[z], &rows_buf);
+        }
+    }
+    Ok(out)
+}
+
+/// Block-parallel atomic Mttkrp over vb-HiCOO: the HiCOO algorithm with the
+/// value loads taken from the padded, 64-byte-aligned runs.
+pub fn mttkrp_vb<S: Scalar>(
+    x: &VbHicooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+) -> Result<DenseMatrix<S>> {
+    mttkrp_vb_backend(x, factors, mode, simd::current_backend())
+}
+
+/// [`mttkrp_vb`] with an explicit kernel backend.
+pub fn mttkrp_vb_backend<S: Scalar>(
+    x: &VbHicooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+    backend: KernelBackend,
+) -> Result<DenseMatrix<S>> {
+    let r = check_factors(x.shape(), factors, mode)?;
+    let _span = obs::span!("mttkrp.vb");
+    charge_vb(x, r);
+    simd::note_dispatch(backend);
+    let mut out = DenseMatrix::zeros_par(x.shape().dim(mode) as usize, r);
+    let bits = x.block_bits();
+    {
+        let cells = S::as_atomic_slice(out.data_mut());
+        let order = x.order();
+        let arena = ScratchArena::new(|| (AlignedVec::filled(r, S::ZERO), vec![0usize; order]));
+        (0..x.num_blocks()).into_par_iter().for_each(|b| {
+            arena.with(|(scratch, base)| {
+                let mut rows_buf = Vec::with_capacity(order);
+                for m in 0..order {
+                    base[m] = (x.block_ind(b, m) as usize) << bits;
+                }
+                let bvals = x.block_vals(b);
+                for (k, z) in x.block_range(b).enumerate() {
+                    gather_block_rows(x.einds(), base, factors, mode, z, &mut rows_buf);
+                    simd::product_rows(backend, scratch, bvals[k], &rows_buf);
+                    let out_row = base[mode] + x.einds()[mode][z] as usize;
+                    for (k, &s) in scratch.iter().enumerate() {
+                        cells[out_row * r + k].fetch_add(s);
+                    }
+                }
+            });
+        });
+    }
+    Ok(out)
+}
+
+/// Output-partitioned vb-HiCOO Mttkrp: builds a [`ModeSchedule`] from the
+/// vb tensor's own block structure and runs the scheduled kernel.
+pub fn mttkrp_vb_sched<S: Scalar>(
+    x: &VbHicooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+) -> Result<DenseMatrix<S>> {
+    mttkrp_vb_sched_backend(x, factors, mode, simd::current_backend())
+}
+
+/// [`mttkrp_vb_sched`] with an explicit kernel backend.
+pub fn mttkrp_vb_sched_backend<S: Scalar>(
+    x: &VbHicooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+    backend: KernelBackend,
+) -> Result<DenseMatrix<S>> {
+    check_factors(x.shape(), factors, mode)?;
+    let sched = crate::sched::vb_mode_schedule(x, mode);
+    mttkrp_vb_sched_with_backend(x, factors, mode, &sched, backend)
+}
+
+/// Scheduled vb-HiCOO Mttkrp against a prebuilt [`ModeSchedule`] (the
+/// schedule of the source HiCOO tensor is structurally identical and may be
+/// reused). Same disjoint-stripe, fixed-order accumulation as the HiCOO
+/// variant: bitwise-deterministic, and bitwise-identical across backends.
+pub fn mttkrp_vb_sched_with_backend<S: Scalar>(
+    x: &VbHicooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+    sched: &ModeSchedule,
+    backend: KernelBackend,
+) -> Result<DenseMatrix<S>> {
+    let r = check_factors(x.shape(), factors, mode)?;
+    if sched.mode() != mode {
+        return Err(TensorError::FactorMismatch(format!(
+            "schedule built for mode {}, kernel invoked for mode {mode}",
+            sched.mode()
+        )));
+    }
+    let _span = obs::span!("mttkrp.vb.scheduled");
+    charge_vb(x, r);
+    simd::note_dispatch(backend);
+    let rows_n = x.shape().dim(mode) as usize;
+    let mut out = DenseMatrix::zeros_par(rows_n, r);
+    let bits = x.block_bits();
+    let order = x.order();
+    let mut tasks = split_row_ranges(
+        out.data_mut(),
+        r,
+        (0..sched.num_tasks()).map(|t| sched.task_row_range(t, rows_n)),
+    );
+    // Order-3 fast path: one fused call per block (see the HiCOO variant).
+    let three = (order == 3).then(|| non_mode_pair(mode));
+    tasks.par_iter_mut().enumerate().for_each(|(t, task)| {
+        let (row_base, slice) = (task.0, &mut *task.1);
+        let mut base = vec![0usize; order];
+        let mut rows_buf = Vec::with_capacity(order);
+        for g in sched.task_groups(t) {
+            for &b in sched.group_blocks(g) {
+                let b = b as usize;
+                for m in 0..order {
+                    base[m] = (x.block_ind(b, m) as usize) << bits;
+                }
+                let bvals = x.block_vals(b);
+                if let Some((ma, mb)) = three {
+                    simd::mttkrp_block3(
+                        backend,
+                        slice,
+                        row_base,
+                        r,
+                        bvals,
+                        x.block_range(b),
+                        &x.einds()[mode],
+                        base[mode],
+                        factors[ma].data(),
+                        &x.einds()[ma],
+                        base[ma],
+                        factors[mb].data(),
+                        &x.einds()[mb],
+                        base[mb],
+                    );
                     continue;
                 }
-                let row = f.row(base[m] + h.einds()[m][z] as usize);
-                for (s, &c) in scratch.iter_mut().zip(row) {
-                    *s *= c;
+                for (k, z) in x.block_range(b).enumerate() {
+                    gather_block_rows(x.einds(), &base, factors, mode, z, &mut rows_buf);
+                    let out_row = base[mode] + x.einds()[mode][z] as usize;
+                    let dst = &mut slice[(out_row - row_base) * r..][..r];
+                    simd::accum_rows(backend, dst, bvals[k], &rows_buf);
                 }
             }
-            let dst = out.row_mut(base[mode] + h.einds()[mode][z] as usize);
-            for (d, &s) in dst.iter_mut().zip(&scratch) {
-                *d += s;
-            }
+        }
+    });
+    Ok(out)
+}
+
+/// Sequential vb-HiCOO Mttkrp baseline.
+pub fn mttkrp_vb_seq<S: Scalar>(
+    x: &VbHicooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+) -> Result<DenseMatrix<S>> {
+    mttkrp_vb_seq_backend(x, factors, mode, simd::current_backend())
+}
+
+/// [`mttkrp_vb_seq`] with an explicit kernel backend.
+pub fn mttkrp_vb_seq_backend<S: Scalar>(
+    x: &VbHicooTensor<S>,
+    factors: &[&DenseMatrix<S>],
+    mode: usize,
+    backend: KernelBackend,
+) -> Result<DenseMatrix<S>> {
+    let r = check_factors(x.shape(), factors, mode)?;
+    let _span = obs::span!("mttkrp.vb.seq");
+    charge_vb(x, r);
+    simd::note_dispatch(backend);
+    let mut out = DenseMatrix::zeros(x.shape().dim(mode) as usize, r);
+    let bits = x.block_bits();
+    let order = x.order();
+    let mut rows_buf = Vec::with_capacity(order);
+    for b in 0..x.num_blocks() {
+        let base: Vec<usize> = (0..order)
+            .map(|m| (x.block_ind(b, m) as usize) << bits)
+            .collect();
+        let bvals = x.block_vals(b);
+        for (k, z) in x.block_range(b).enumerate() {
+            gather_block_rows(x.einds(), &base, factors, mode, z, &mut rows_buf);
+            let dst = out.row_mut(base[mode] + x.einds()[mode][z] as usize);
+            simd::accum_rows(backend, dst, bvals[k], &rows_buf);
         }
     }
     Ok(out)
@@ -741,6 +1073,99 @@ mod tests {
             let hb =
                 crate::par::with_threads(4, || mttkrp_hicoo_sched(&h, &refs(&f), mode).unwrap());
             assert_eq!(ha.data(), hb.data(), "HiCOO mode {mode} not bitwise equal");
+        }
+    }
+
+    #[test]
+    fn backends_are_bitwise_identical_across_strategies() {
+        // The SIMD backend is lane-wise and order-preserving, so every
+        // strategy must produce bit-for-bit the same output either way —
+        // including non-lane-multiple ranks that exercise vector tails.
+        let entries: Vec<(Vec<u32>, f32)> = (0..3000)
+            .map(|i| {
+                (
+                    vec![(i * 13) % 20, (i * 7) % 30, (i * 3) % 25],
+                    0.01 * i as f32 - 3.0,
+                )
+            })
+            .collect();
+        let x = CooTensor::from_entries(Shape::new(vec![20, 30, 25]), entries).unwrap();
+        let h = HicooTensor::from_coo(&x, 2).unwrap();
+        for r in [3usize, 8, 16, 17] {
+            let f = factors(x.shape(), r);
+            for mode in 0..3 {
+                for strat in [
+                    MttkrpStrategy::Seq,
+                    MttkrpStrategy::Atomic,
+                    MttkrpStrategy::Privatized,
+                    MttkrpStrategy::RowLocked,
+                    MttkrpStrategy::Scheduled,
+                ] {
+                    let s = mttkrp_with_backend(&x, &refs(&f), mode, strat, KernelBackend::Scalar)
+                        .unwrap();
+                    let v = mttkrp_with_backend(&x, &refs(&f), mode, strat, KernelBackend::Simd)
+                        .unwrap();
+                    // Atomic/privatized strategies are order-nondeterministic
+                    // across *runs*, but single-threaded here they agree;
+                    // compare approximately for those, bitwise for the rest.
+                    if matches!(strat, MttkrpStrategy::Seq | MttkrpStrategy::Scheduled) {
+                        assert_eq!(s.data(), v.data(), "{strat:?} r={r} mode={mode}");
+                    } else {
+                        for (a, b) in s.data().iter().zip(v.data()) {
+                            assert!(approx_eq(*a, *b, 1e-4), "{strat:?} r={r}: {a} vs {b}");
+                        }
+                    }
+                }
+                let hs =
+                    mttkrp_hicoo_sched_backend(&h, &refs(&f), mode, KernelBackend::Scalar).unwrap();
+                let hv =
+                    mttkrp_hicoo_sched_backend(&h, &refs(&f), mode, KernelBackend::Simd).unwrap();
+                assert_eq!(hs.data(), hv.data(), "hicoo sched r={r} mode={mode}");
+                let qs =
+                    mttkrp_hicoo_seq_backend(&h, &refs(&f), mode, KernelBackend::Scalar).unwrap();
+                let qv =
+                    mttkrp_hicoo_seq_backend(&h, &refs(&f), mode, KernelBackend::Simd).unwrap();
+                assert_eq!(qs.data(), qv.data(), "hicoo seq r={r} mode={mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn vb_matches_hicoo_bitwise() {
+        // The value-blocked layout only moves value storage; the iteration
+        // order is identical to HiCOO, so seq/sched results must be bitwise
+        // equal to the HiCOO kernels in both backends.
+        let entries: Vec<(Vec<u32>, f32)> = (0..3000)
+            .map(|i| {
+                (
+                    vec![(i * 13) % 20, (i * 7) % 30, (i * 3) % 25],
+                    0.01 * i as f32 - 3.0,
+                )
+            })
+            .collect();
+        let x = CooTensor::from_entries(Shape::new(vec![20, 30, 25]), entries).unwrap();
+        let h = HicooTensor::from_coo(&x, 2).unwrap();
+        let vb = VbHicooTensor::from_hicoo(&h);
+        for r in [3usize, 8, 16] {
+            let f = factors(x.shape(), r);
+            for mode in 0..3 {
+                for backend in [KernelBackend::Scalar, KernelBackend::Simd] {
+                    let want = mttkrp_hicoo_seq_backend(&h, &refs(&f), mode, backend).unwrap();
+                    let got = mttkrp_vb_seq_backend(&vb, &refs(&f), mode, backend).unwrap();
+                    assert_eq!(want.data(), got.data(), "seq r={r} mode={mode} {backend:?}");
+                    let want = mttkrp_hicoo_sched_backend(&h, &refs(&f), mode, backend).unwrap();
+                    let got = mttkrp_vb_sched_backend(&vb, &refs(&f), mode, backend).unwrap();
+                    assert_eq!(
+                        want.data(),
+                        got.data(),
+                        "sched r={r} mode={mode} {backend:?}"
+                    );
+                    let atom = mttkrp_vb_backend(&vb, &refs(&f), mode, backend).unwrap();
+                    for (a, b) in want.data().iter().zip(atom.data()) {
+                        assert!(approx_eq(*a, *b, 1e-4), "atomic r={r}: {a} vs {b}");
+                    }
+                }
+            }
         }
     }
 

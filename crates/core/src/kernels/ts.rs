@@ -13,10 +13,15 @@ use tenbench_obs as obs;
 use crate::analysis;
 use crate::coo::CooTensor;
 use crate::error::{Result, TensorError};
-use crate::hicoo::HicooTensor;
+use crate::hicoo::{HicooTensor, VbHicooTensor};
 use crate::scalar::Scalar;
+use crate::simd::{self, KernelBackend};
 
 use super::EwOp;
+
+/// Chunk size for the parallel value loops; large enough that the SIMD body
+/// amortizes rayon's per-task overhead.
+const CHUNK: usize = 1024;
 
 fn check_scalar<S: Scalar>(op: EwOp, s: S) -> Result<()> {
     if op == EwOp::Div && s == S::ZERO {
@@ -38,15 +43,24 @@ fn charge(m: usize) {
 
 /// Tensor–scalar operation, parallel over nonzeros (COO-Ts-OMP).
 pub fn ts<S: Scalar>(x: &CooTensor<S>, s: S, op: EwOp) -> Result<CooTensor<S>> {
+    ts_backend(x, s, op, simd::current_backend())
+}
+
+/// [`ts`] with an explicit kernel backend.
+pub fn ts_backend<S: Scalar>(
+    x: &CooTensor<S>,
+    s: S,
+    op: EwOp,
+    backend: KernelBackend,
+) -> Result<CooTensor<S>> {
     check_scalar(op, s)?;
     let _span = obs::span!("ts.coo");
     charge(x.nnz());
-    let vals: Vec<S> = x
-        .vals()
-        .par_iter()
-        .with_min_len(1024)
-        .map(|&a| op.apply(a, s))
-        .collect();
+    simd::note_dispatch(backend);
+    let mut vals: Vec<S> = vec![S::ZERO; x.nnz()];
+    vals.par_chunks_mut(CHUNK)
+        .zip(x.vals().par_chunks(CHUNK))
+        .for_each(|(o, a)| simd::ew_scalar_into(backend, op, a, s, o));
     Ok(CooTensor::from_parts_unchecked(
         x.shape().clone(),
         x.inds().to_vec(),
@@ -57,10 +71,22 @@ pub fn ts<S: Scalar>(x: &CooTensor<S>, s: S, op: EwOp) -> Result<CooTensor<S>> {
 
 /// Sequential tensor–scalar baseline.
 pub fn ts_seq<S: Scalar>(x: &CooTensor<S>, s: S, op: EwOp) -> Result<CooTensor<S>> {
+    ts_seq_backend(x, s, op, simd::current_backend())
+}
+
+/// [`ts_seq`] with an explicit kernel backend.
+pub fn ts_seq_backend<S: Scalar>(
+    x: &CooTensor<S>,
+    s: S,
+    op: EwOp,
+    backend: KernelBackend,
+) -> Result<CooTensor<S>> {
     check_scalar(op, s)?;
     let _span = obs::span!("ts.seq");
     charge(x.nnz());
-    let vals: Vec<S> = x.vals().iter().map(|&a| op.apply(a, s)).collect();
+    simd::note_dispatch(backend);
+    let mut vals: Vec<S> = vec![S::ZERO; x.nnz()];
+    simd::ew_scalar_into(backend, op, x.vals(), s, &mut vals);
     Ok(CooTensor::from_parts_unchecked(
         x.shape().clone(),
         x.inds().to_vec(),
@@ -72,27 +98,73 @@ pub fn ts_seq<S: Scalar>(x: &CooTensor<S>, s: S, op: EwOp) -> Result<CooTensor<S
 /// Tensor–scalar over HiCOO (HiCOO-Ts-OMP): identical value loop, output in
 /// HiCOO with the input's block structure.
 pub fn ts_hicoo<S: Scalar>(x: &HicooTensor<S>, s: S, op: EwOp) -> Result<HicooTensor<S>> {
+    ts_hicoo_backend(x, s, op, simd::current_backend())
+}
+
+/// [`ts_hicoo`] with an explicit kernel backend.
+pub fn ts_hicoo_backend<S: Scalar>(
+    x: &HicooTensor<S>,
+    s: S,
+    op: EwOp,
+    backend: KernelBackend,
+) -> Result<HicooTensor<S>> {
     check_scalar(op, s)?;
     let _span = obs::span!("ts.hicoo");
     charge(x.nnz());
+    simd::note_dispatch(backend);
     let mut out = x.clone();
     out.vals_mut()
-        .par_iter_mut()
-        .with_min_len(1024)
-        .for_each(|a| *a = op.apply(*a, s));
+        .par_chunks_mut(CHUNK)
+        .for_each(|a| simd::ew_scalar_assign(backend, op, a, s));
+    Ok(out)
+}
+
+/// Ts over a vb-HiCOO tensor: streams the padded value array (aligned,
+/// full-lane chunks) and re-zeroes the padding lanes afterwards (Add/Sub/Div
+/// would otherwise leave them nonzero or NaN).
+pub fn ts_vb<S: Scalar>(x: &VbHicooTensor<S>, s: S, op: EwOp) -> Result<VbHicooTensor<S>> {
+    ts_vb_backend(x, s, op, simd::current_backend())
+}
+
+/// [`ts_vb`] with an explicit kernel backend.
+pub fn ts_vb_backend<S: Scalar>(
+    x: &VbHicooTensor<S>,
+    s: S,
+    op: EwOp,
+    backend: KernelBackend,
+) -> Result<VbHicooTensor<S>> {
+    check_scalar(op, s)?;
+    let _span = obs::span!("ts.vb");
+    charge(x.nnz());
+    simd::note_dispatch(backend);
+    let mut out = x.clone();
+    out.padded_vals_mut()
+        .par_chunks_mut(CHUNK)
+        .for_each(|a| simd::ew_scalar_assign(backend, op, a, s));
+    out.rezero_padding();
     Ok(out)
 }
 
 /// In-place variant reusing the input's allocation (the form tensor methods
 /// use when the operand is a scratch tensor).
 pub fn ts_in_place<S: Scalar>(x: &mut CooTensor<S>, s: S, op: EwOp) -> Result<()> {
+    ts_in_place_backend(x, s, op, simd::current_backend())
+}
+
+/// [`ts_in_place`] with an explicit kernel backend.
+pub fn ts_in_place_backend<S: Scalar>(
+    x: &mut CooTensor<S>,
+    s: S,
+    op: EwOp,
+    backend: KernelBackend,
+) -> Result<()> {
     check_scalar(op, s)?;
     let _span = obs::span!("ts.in_place");
     charge(x.nnz());
+    simd::note_dispatch(backend);
     x.vals_mut()
-        .par_iter_mut()
-        .with_min_len(1024)
-        .for_each(|a| *a = op.apply(*a, s));
+        .par_chunks_mut(CHUNK)
+        .for_each(|a| simd::ew_scalar_assign(backend, op, a, s));
     Ok(())
 }
 
@@ -156,6 +228,72 @@ mod tests {
         let y = ts(&x, 5.0, EwOp::Mul).unwrap();
         assert_eq!(hy.to_map(), y.to_map());
         assert!(hy.same_pattern(&h));
+    }
+
+    #[test]
+    fn backends_are_bitwise_identical() {
+        use crate::simd::KernelBackend::{Scalar, Simd};
+        let entries: Vec<(Vec<u32>, f32)> = (0..333u32)
+            .map(|i| {
+                (
+                    vec![i % 4, (i / 4) % 4, i / 16],
+                    ((i * 29 % 17) as f32) - 8.0,
+                )
+            })
+            .collect();
+        let x = CooTensor::from_entries(Shape::new(vec![4, 4, 21]), entries).unwrap();
+        let h = HicooTensor::from_coo(&x, 2).unwrap();
+        for op in [EwOp::Add, EwOp::Sub, EwOp::Mul, EwOp::Div] {
+            let s = 2.75f32;
+            let zs = ts_backend(&x, s, op, Scalar).unwrap();
+            let zv = ts_backend(&x, s, op, Simd).unwrap();
+            assert_eq!(
+                zs.vals().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                zv.vals().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{op:?} parallel"
+            );
+            assert_eq!(zs.vals(), ts_seq_backend(&x, s, op, Simd).unwrap().vals());
+            let hs = ts_hicoo_backend(&h, s, op, Scalar).unwrap();
+            let hv = ts_hicoo_backend(&h, s, op, Simd).unwrap();
+            assert_eq!(hs.vals(), hv.vals(), "{op:?} hicoo");
+            let mut xi = x.clone();
+            ts_in_place_backend(&mut xi, s, op, Simd).unwrap();
+            assert_eq!(zs.vals(), xi.vals(), "{op:?} in-place");
+        }
+    }
+
+    #[test]
+    fn vb_matches_hicoo_and_keeps_padding_clean() {
+        let entries: Vec<(Vec<u32>, f32)> = (0..333u32)
+            .map(|i| {
+                (
+                    vec![i % 4, (i / 4) % 4, i / 16],
+                    ((i * 29 % 17) as f32) - 8.0,
+                )
+            })
+            .collect();
+        let x = CooTensor::from_entries(Shape::new(vec![4, 4, 21]), entries).unwrap();
+        let h = HicooTensor::from_coo(&x, 2).unwrap();
+        let v = VbHicooTensor::from_hicoo(&h);
+        for op in [EwOp::Add, EwOp::Sub, EwOp::Mul, EwOp::Div] {
+            for backend in [
+                crate::simd::KernelBackend::Scalar,
+                crate::simd::KernelBackend::Simd,
+            ] {
+                let hy = ts_hicoo_backend(&h, 2.75, op, backend).unwrap();
+                let vy = ts_vb_backend(&v, 2.75, op, backend).unwrap();
+                assert!(vy.validate().is_ok(), "{op:?} {backend:?} padding");
+                assert_eq!(
+                    hy.vals().iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                    vy.to_hicoo()
+                        .vals()
+                        .iter()
+                        .map(|s| s.to_bits())
+                        .collect::<Vec<_>>(),
+                    "{op:?} {backend:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod align;
 pub mod analysis;
 pub mod atomic;
 pub mod coo;
@@ -80,16 +81,18 @@ pub mod reorder;
 pub mod scalar;
 pub mod sched;
 pub mod shape;
+pub mod simd;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::coo::{CooTensor, SemiSparseTensor};
     pub use crate::dense::{DenseMatrix, DenseVector};
     pub use crate::error::{Result, TensorError};
-    pub use crate::hicoo::{GHicooTensor, HicooTensor, SemiSparseHicooTensor};
+    pub use crate::hicoo::{GHicooTensor, HicooTensor, SemiSparseHicooTensor, VbHicooTensor};
     pub use crate::kernels::{EwOp, Kernel};
     pub use crate::scalar::Scalar;
     pub use crate::shape::Shape;
+    pub use crate::simd::{BackendChoice, KernelBackend};
 }
 
 pub use crate::error::{Result, TensorError};

@@ -393,6 +393,26 @@ mod tests {
     }
 
     #[test]
+    fn scratch_arena_buffers_are_simd_aligned() {
+        use crate::align::{AlignedVec, SIMD_ALIGN};
+        // Kernel scratch factories build AlignedVecs, so every buffer the
+        // arena lends out — per-worker slot or contended fallback — starts
+        // 64-byte aligned and vector loads never take the unaligned path.
+        let arena = ScratchArena::new(|| AlignedVec::filled(17, 0.0f32));
+        with_threads(2, || {
+            (0..32usize).into_par_iter().with_min_len(1).for_each(|_| {
+                arena.with(|s| {
+                    assert_eq!(s.as_slice().as_ptr() as usize % SIMD_ALIGN, 0);
+                    // Nested use exercises the contended-fallback buffer.
+                    arena.with(|inner| {
+                        assert_eq!(inner.as_slice().as_ptr() as usize % SIMD_ALIGN, 0);
+                    });
+                });
+            });
+        });
+    }
+
+    #[test]
     fn scratch_arena_sized_for_installed_pools() {
         // Installing a wide pool first means an arena created *outside* any
         // install scope still gets one slot per potential worker.

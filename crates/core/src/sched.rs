@@ -504,6 +504,39 @@ pub fn mode_schedule<S: Scalar>(h: &HicooTensor<S>, mode: usize) -> Arc<ModeSche
     s
 }
 
+/// Cached [`ModeSchedule`] for a value-blocked HiCOO tensor, keyed on its
+/// padded value buffer. Built from the same `binds`/`bptr` arrays as the
+/// plain HiCOO schedule, so a vb tensor converted from a HiCOO tensor
+/// yields an identical schedule (and the scheduled vb kernel bitwise-
+/// matches the scheduled HiCOO kernel).
+pub fn vb_mode_schedule<S: Scalar>(
+    x: &crate::hicoo::VbHicooTensor<S>,
+    mode: usize,
+) -> Arc<ModeSchedule> {
+    let threads = current_threads().max(1);
+    let key = CacheKey {
+        data_ptr: x.padded_vals().as_ptr() as usize,
+        nnz: x.nnz(),
+        blocks: x.num_blocks(),
+        block_bits: x.block_bits(),
+        mode,
+        threads,
+        kind: KIND_MODE,
+    };
+    if let Some(CachedSchedule::Mode(s)) = cache_get(&key) {
+        return s;
+    }
+    let s = Arc::new(ModeSchedule::build(
+        &x.binds()[mode],
+        x.bptr(),
+        x.block_bits(),
+        mode,
+        threads,
+    ));
+    cache_put(key, CachedSchedule::Mode(Arc::clone(&s)));
+    s
+}
+
 /// Cached [`RowSchedule`] for `(x, mode, current_threads())`.
 pub fn row_schedule<S: Scalar>(x: &CooTensor<S>, mode: usize) -> Arc<RowSchedule> {
     let threads = current_threads().max(1);

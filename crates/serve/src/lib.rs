@@ -43,7 +43,7 @@ pub mod queue;
 pub mod service;
 pub mod stress;
 
-pub use cache::{CacheKey, CacheStats, PrepCache, Prepared};
+pub use cache::{CacheKey, CacheStats, PrepCache, PrepLayout, Prepared};
 pub use job::{
     FaultInjector, InjectedFault, InlineStepRunner, JobConfig, JobError, JobKind, JobOutcome,
     JobProgress, JobService, JobServiceReport, JobSpec, JobTicket, ScriptedFaults, StepRunner,
