@@ -22,24 +22,24 @@
 //!                   [--threads 1,2,4,8] [--reps K] [--out BENCH_scaling.json]
 //!                   [--floors ci/scaling-floor.txt]
 //! tenbench verify   <file> [--block-bits B] [--rank R] [--max-seconds S]
-//! tenbench report   <trace.json>
+//! tenbench report   <trace.json | flight-dump.json>
 //! tenbench obs-overhead [--dataset s4] [--nnz N] [--rank R] [--block-bits B]
 //!                   [--reps K] [--threads 1,2,4] [--rounds 3]
 //!                   [--out BENCH_obs_overhead.json] [--max-overhead-pct X]
 //! tenbench serve    [--dataset s4] [--nnz N] [--rank R] [--workers W]
 //!                   [--queue-bound Q] [--max-batch B] [--cache-mb M]
-//!                   [--block-bits B] [--max-seconds S]
+//!                   [--block-bits B] [--max-seconds S] [--flight-dump-dir DIR]
 //! tenbench stress   [--dataset s4] [--nnz N] [--tensors T] [--duration 5s]
 //!                   [--concurrency C] [--alpha A] [--rank R] [--workers W]
 //!                   [--queue-bound Q] [--max-batch B] [--cache-mb M]
 //!                   [--deadline-ms D] [--max-p99-ms X] [--min-hit-ratio H]
-//!                   [--out BENCH_serve.json]
+//!                   [--out BENCH_serve.json] [--flight-dump-dir DIR]
 //! tenbench chaos    [--seed S] [--duration 3s] [--jobs J] [--dim D]
 //!                   [--nnz N] [--tensors T] [--alpha A] [--clients C]
 //!                   [--rank R] [--max-iters I] [--fault-rate P]
 //!                   [--max-step-seconds S] [--job-workers W]
 //!                   [--max-recoveries K] [--out BENCH_chaos.json]
-//!                   [--floors ci/chaos-floor.txt]
+//!                   [--floors ci/chaos-floor.txt] [--flight-dump-dir DIR]
 //! ```
 //!
 //! The measuring subcommands (`kernel`, `ablate-mttkrp`, `convert-bench`)
@@ -79,6 +79,15 @@
 //! `min_recoveries` faults were absorbed by checkpoint resume, every
 //! fault kind fired, and every completed CP-ALS job bitwise-matches an
 //! uninterrupted reference run.
+//!
+//! `--flight-dump-dir DIR` (on `serve`, `stress`, and `chaos`) routes
+//! flight-recorder fault dumps to DIR: the always-on per-thread ring of
+//! recent causal events is snapshotted into
+//! `DIR/flight-<seq>-<reason>.json` the moment the supervisor records a
+//! panic, watchdog timeout, or invalid output, or checkpoint corruption is
+//! detected on the resume path. `tenbench report <dump>` validates and
+//! pretty-prints a dump; under `chaos`, the run additionally fails unless
+//! every observed fault kind produced at least one dump.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -184,6 +193,14 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
         trace: opts.get("trace").map(PathBuf::from),
         profile: opts.contains_key("profile"),
     };
+    // `--flight-dump-dir DIR` routes flight-recorder fault dumps there;
+    // the directory is created eagerly so a bad path fails now, not at
+    // the first fault. The chaos gates additionally key on its contents.
+    let flight_dump_dir = opts.get("flight-dump-dir").map(PathBuf::from);
+    if let Some(dir) = &flight_dump_dir {
+        tenbench_obs::flight::set_dump_dir(Some(dir.clone()))
+            .map_err(|e| format!("--flight-dump-dir {}: {e}", dir.display()))?;
+    }
 
     match pos.first().map(String::as_str) {
         Some("convert") => {
@@ -494,6 +511,7 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
                 cfg,
                 out_json: opts.get("out").map(PathBuf::from),
                 floors: opts.get("floors").map(PathBuf::from),
+                flight_dump_dir,
             };
             Ok(cli::chaos(&chaos_opts)?)
         }

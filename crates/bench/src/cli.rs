@@ -1665,19 +1665,34 @@ pub fn scale_bench(opts: &ScaleBenchOpts) -> CliResult<String> {
     Ok(out)
 }
 
-/// `report <trace.json>`: validate a previously written chrome trace
-/// against the Trace Event Format and summarize it (event count, lanes,
-/// nesting depth). Fails with a usage error when the file is not a valid
-/// trace, which is what the CI schema gate keys on.
+/// `report <trace.json | flight-dump.json>`: validate a previously
+/// written observability artifact and summarize it. Flight-recorder dumps
+/// (recognized by their `flight_dump` marker) are schema-checked and
+/// pretty-printed with the faulting context's events highlighted; anything
+/// else is validated as a chrome trace (event count, lanes, nesting
+/// depth). Fails with a usage error when the file is neither, which is
+/// what the CI schema gate keys on.
 pub fn report(input: &Path) -> CliResult<String> {
     let json = std::fs::read_to_string(input)?;
+    if let Ok(doc) = obs::json::Value::parse(&json) {
+        if obs::flight::is_flight_dump(&doc) {
+            let rendered = obs::flight::render_flight_dump(&json).map_err(|e| {
+                CliError::Usage(format!("{}: invalid flight dump: {e}", input.display()))
+            })?;
+            return Ok(format!(
+                "{}: valid flight dump\n{rendered}",
+                input.display()
+            ));
+        }
+    }
     let s = obs::json::validate_chrome_trace(&json)
         .map_err(|e| CliError::Usage(format!("{}: invalid chrome trace: {e}", input.display())))?;
     Ok(format!(
-        "{}: valid chrome trace\n  events          {}\n  duration events {}\n  thread lanes    {}\n  max span depth  {}\n",
+        "{}: valid chrome trace\n  events          {}\n  duration events {}\n  flow events     {}\n  thread lanes    {}\n  max span depth  {}\n",
         input.display(),
         fint(s.total_events as u64),
         fint(s.duration_events as u64),
+        fint(s.flow_events as u64),
         fint(s.threads as u64),
         fint(s.max_depth as u64),
     ))
@@ -2111,6 +2126,9 @@ pub struct ChaosOpts {
     /// Read gate floors (`max_lost_jobs` / `min_recoveries`) from this
     /// `ci/chaos-floor.txt`-style file.
     pub floors: Option<PathBuf>,
+    /// Write flight-recorder dumps here as faults fire, and gate on one
+    /// dump per observed fault kind at the end of the run.
+    pub flight_dump_dir: Option<PathBuf>,
 }
 
 /// Gate floors for a chaos run: the CI contract.
@@ -2173,6 +2191,10 @@ pub fn chaos(opts: &ChaosOpts) -> CliResult<String> {
         Some(path) => parse_chaos_floors(path)?,
         None => ChaosFloors::default(),
     };
+    if let Some(dir) = &opts.flight_dump_dir {
+        obs::flight::set_dump_dir(Some(dir.clone()))
+            .map_err(|e| CliError::Usage(format!("--flight-dump-dir {}: {e}", dir.display())))?;
+    }
 
     // Injected panics are contained by the supervisor's catch_unwind and
     // surface as typed step verdicts; silence their default stderr spew so
@@ -2336,6 +2358,41 @@ pub fn chaos(opts: &ChaosOpts) -> CliResult<String> {
         )));
     }
     out.push_str("residual gate: non-increasing across every resume boundary ok\n");
+    // Flight-recorder gate: every fault kind that actually fired must have
+    // produced at least one dump of the matching reason. Hangs surface as
+    // watchdog timeouts; corruptions dump at detection time (the resume
+    // walk), so that kind is keyed on detections, not injections.
+    if let Some(dir) = &opts.flight_dump_dir {
+        let count_kind = |reason: &str| -> CliResult<usize> {
+            let suffix = format!("-{reason}.json");
+            let mut n = 0;
+            for entry in std::fs::read_dir(dir)? {
+                let name = entry?.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with("flight-") && name.ends_with(&suffix) {
+                    n += 1;
+                }
+            }
+            Ok(n)
+        };
+        for (reason, fired) in [
+            ("panic", report.injected_panics),
+            ("timeout", report.injected_hangs),
+            ("ckpt_corrupt", report.corrupt_detected),
+        ] {
+            let dumps = count_kind(reason)?;
+            if fired > 0 && dumps == 0 {
+                return Err(CliError::Usage(format!(
+                    "chaos gate: {fired} {reason} faults observed but no \
+                     flight-*-{reason}.json dump in {}",
+                    dir.display(),
+                )));
+            }
+            out.push_str(&format!(
+                "flight-dump gate: {reason} — {dumps} dumps for {fired} faults ok\n"
+            ));
+        }
+    }
     Ok(out)
 }
 

@@ -593,6 +593,13 @@ pub fn run_mttkrp_ablation_supervised_at(
                 }
             });
             let reference = &refs[mode];
+            // Each cell gets its own trace context: the supervisor relays
+            // it onto the watchdog thread, so a traced ablation renders
+            // one connected lane per cell and a fault dump names the cell
+            // that was executing.
+            let cell_ctx = obs::TraceCtx::mint("cell");
+            let _cell_guard = obs::ctx::install(cell_ctx);
+            obs::ctx::async_begin("cell", cell_ctx);
             let (report, value) = supervise(
                 &format!("mttkrp/{name}/mode{mode}"),
                 &[trial],
@@ -601,6 +608,7 @@ pub fn run_mttkrp_ablation_supervised_at(
                 },
                 cfg,
             );
+            obs::ctx::async_end("cell", cell_ctx);
             match value {
                 Some((secs, _)) => {
                     total += secs;

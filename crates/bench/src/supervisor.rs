@@ -459,9 +459,14 @@ fn run_guarded<T: Send + 'static>(
     max_seconds: f64,
 ) -> Guarded<T> {
     let (tx, rx) = mpsc::channel();
+    // The watchdog worker is a fresh thread, and thread-locals do not
+    // inherit across spawns: relay the caller's trace context explicitly
+    // so the attempt's spans and flight events charge to the request.
+    let ctx = obs::ctx::current();
     let spawned = std::thread::Builder::new()
         .name("tenbench-supervised".into())
         .spawn(move || {
+            let _ctx_guard = obs::ctx::install_opt(ctx);
             let t0 = Instant::now();
             let result = catch_unwind(AssertUnwindSafe(|| run()));
             let dt = t0.elapsed().as_secs_f64();
@@ -513,7 +518,14 @@ pub fn supervise<T: Send + 'static>(
             // as a supervisor recovery action.
             if !attempts.is_empty() {
                 obs::counters::SUPERVISOR_RETRIES.add(1);
+                let kind = if ti > 0 {
+                    obs::flight::FlightKind::Fallback
+                } else {
+                    obs::flight::FlightKind::Retry
+                };
+                obs::flight::note(kind, attempts.len() as u64);
             }
+            obs::flight::note(obs::flight::FlightKind::ExecBegin, ti as u64);
             let guarded = {
                 let _span = obs::span!("supervisor.attempt");
                 run_guarded(trial.run.clone(), cfg.max_seconds)
@@ -531,6 +543,10 @@ pub fn supervise<T: Send + 'static>(
             let outcome = match guarded {
                 Guarded::Done(Ok(value), dt) => match timed_validate(&value) {
                     (Ok(checksum), validate_s) => {
+                        obs::flight::note(
+                            obs::flight::FlightKind::ExecOk,
+                            (dt * 1e6) as u64, // microseconds
+                        );
                         let first_try = attempts.is_empty();
                         let from = attempts
                             .first()
@@ -557,13 +573,43 @@ pub fn supervise<T: Send + 'static>(
                         };
                         return (report, Some(value));
                     }
-                    (Err(reason), _) => AttemptOutcome::InvalidOutput { reason },
+                    (Err(reason), _) => {
+                        obs::flight::dump(
+                            "invalid_output",
+                            obs::flight::FlightKind::InvalidOutput,
+                            obs::ctx::current_id(),
+                            &format!(
+                                "{cell}: strategy {} produced invalid output: {reason}",
+                                trial.strategy
+                            ),
+                        );
+                        AttemptOutcome::InvalidOutput { reason }
+                    }
                 },
                 Guarded::Done(Err(message), _) => AttemptOutcome::Error { message },
-                Guarded::Panicked(message) => AttemptOutcome::Panicked { message },
-                Guarded::TimedOut => AttemptOutcome::TimedOut {
-                    limit_s: cfg.max_seconds,
-                },
+                Guarded::Panicked(message) => {
+                    obs::flight::dump(
+                        "panic",
+                        obs::flight::FlightKind::Panic,
+                        obs::ctx::current_id(),
+                        &format!("{cell}: strategy {} panicked: {message}", trial.strategy),
+                    );
+                    AttemptOutcome::Panicked { message }
+                }
+                Guarded::TimedOut => {
+                    obs::flight::dump(
+                        "timeout",
+                        obs::flight::FlightKind::Timeout,
+                        obs::ctx::current_id(),
+                        &format!(
+                            "{cell}: strategy {} exceeded the {:.1}s watchdog",
+                            trial.strategy, cfg.max_seconds
+                        ),
+                    );
+                    AttemptOutcome::TimedOut {
+                        limit_s: cfg.max_seconds,
+                    }
+                }
             };
             // Panics and invalid outputs are deterministic: retrying the
             // same strategy would fail the same way, so move on.

@@ -1,0 +1,260 @@
+//! Streaming log-bucketed histogram for latency percentiles.
+//!
+//! [`LogHistogram`] replaces materialized per-request latency vectors in
+//! the serving report: memory is a fixed array of bucket counts no matter
+//! how many samples arrive (the stress overload burst used to grow a
+//! `Vec<f64>` per request). Buckets are logarithmic — [`SUB_BUCKETS`]
+//! per octave (power of two) across [`LO_MS`]..[`HI_MS`] — so any
+//! reported percentile is within a relative bucket error of
+//! `2^(1/SUB_BUCKETS) - 1` (~9%) of the exact order statistic, which the
+//! test suite asserts against exact percentiles.
+
+use std::fmt::Write as _;
+
+use crate::json::json_f64;
+
+/// Sub-buckets per factor-of-two; bounds relative error at ~9%.
+pub const SUB_BUCKETS: usize = 8;
+/// Lower edge of the bucketed range (1 µs as milliseconds); smaller
+/// samples clamp into the first bucket.
+pub const LO_MS: f64 = 0.001;
+/// Upper edge of the bucketed range (10 minutes as milliseconds); larger
+/// samples clamp into the last bucket.
+pub const HI_MS: f64 = 600_000.0;
+
+/// log2(HI/LO) ≈ 29.2 octaves, rounded up.
+const OCTAVES: usize = 30;
+const BUCKETS: usize = OCTAVES * SUB_BUCKETS;
+
+/// A bounded-memory latency histogram with log-spaced buckets.
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket(value_ms: f64) -> usize {
+        let clamped = value_ms.clamp(LO_MS, HI_MS);
+        let idx = ((clamped / LO_MS).log2() * SUB_BUCKETS as f64).floor() as usize;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// The geometric midpoint a bucket reports for its samples.
+    fn bucket_mid(idx: usize) -> f64 {
+        // Bucket idx spans [LO·2^(idx/S), LO·2^((idx+1)/S)).
+        LO_MS * 2f64.powf((idx as f64 + 0.5) / SUB_BUCKETS as f64)
+    }
+
+    /// Record one sample (milliseconds). Non-finite samples are ignored.
+    pub fn record(&mut self, value_ms: f64) {
+        if !value_ms.is_finite() {
+            return;
+        }
+        self.counts[Self::bucket(value_ms)] += 1;
+        self.count += 1;
+        self.sum += value_ms;
+        self.min = self.min.min(value_ms);
+        self.max = self.max.max(value_ms);
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of the recorded samples (tracked outside the buckets).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum sample, or 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum sample, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The `p`-th percentile (0..=100): the bucket midpoint of the sample
+    /// at the same rank the exact report used (`round(p/100·(n-1))`),
+    /// clamped to the exact observed min/max so extreme percentiles never
+    /// leave the sampled range. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return Self::bucket_mid(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Serialize as a JSON object: summary stats plus the non-empty
+    /// buckets as `[lo_ms, count]` pairs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"count\":{},\"mean_ms\":{},\"min_ms\":{},\"max_ms\":{},\"buckets\":[",
+            self.count,
+            json_f64(self.mean()),
+            json_f64(self.min()),
+            json_f64(self.max())
+        );
+        let mut first = true;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let lo = LO_MS * 2f64.powf(idx as f64 / SUB_BUCKETS as f64);
+            let _ = write!(out, "[{},{}]", json_f64(lo), c);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_percentile(sorted: &[f64], p: f64) -> f64 {
+        let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx]
+    }
+
+    /// Max relative error of a bucketed percentile: one bucket's width.
+    const BUCKET_ERR: f64 = 0.095; // 2^(1/8) - 1 ≈ 0.0905, plus slack
+
+    #[test]
+    fn percentiles_match_exact_within_bucket_error() {
+        // A skewed latency-like distribution spanning several decades.
+        let mut vals: Vec<f64> = (0..10_000)
+            .map(|i| {
+                let j = (i as u64).wrapping_mul(2654435761) % 10_000;
+                0.05 + (j as f64 / 10_000.0).powi(4) * 900.0
+            })
+            .collect();
+        let mut h = LogHistogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for p in [50.0, 90.0, 99.0, 99.9] {
+            let exact = exact_percentile(&vals, p);
+            let approx = h.percentile(p);
+            let rel = (approx - exact).abs() / exact;
+            assert!(
+                rel <= BUCKET_ERR,
+                "p{p}: approx {approx} vs exact {exact} (rel err {rel:.4})"
+            );
+        }
+        assert_eq!(h.count(), 10_000);
+        assert!((h.max() - vals[vals.len() - 1]).abs() < 1e-12);
+        assert!((h.min() - vals[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single_sample() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.percentile(99.0), 0.0);
+        assert_eq!(h.max(), 0.0);
+        h.record(3.5);
+        // One sample: every percentile clamps to the exact value.
+        assert_eq!(h.percentile(0.0), 3.5);
+        assert_eq!(h.percentile(50.0), 3.5);
+        assert_eq!(h.percentile(100.0), 3.5);
+        assert_eq!(h.mean(), 3.5);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut c = LogHistogram::new();
+        for i in 0..1000 {
+            let v = 0.01 * (i as f64 + 1.0);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        for p in [10.0, 50.0, 95.0] {
+            assert_eq!(a.percentile(p), c.percentile(p));
+        }
+        assert_eq!(a.max(), c.max());
+    }
+
+    #[test]
+    fn out_of_range_clamps_and_json_parses() {
+        let mut h = LogHistogram::new();
+        h.record(1e-9);
+        h.record(1e9);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 2);
+        let doc = crate::json::Value::parse(&h.to_json()).expect("hist JSON parses");
+        assert_eq!(
+            doc.get("count").and_then(crate::json::Value::as_f64),
+            Some(2.0)
+        );
+    }
+}

@@ -349,6 +349,8 @@ pub struct ChromeSummary {
     pub total_events: usize,
     /// Paired `B`/`E` duration events.
     pub duration_events: usize,
+    /// Async/flow events (`b`/`e`/`n`/`s`/`t`/`f`).
+    pub flow_events: usize,
     /// Distinct `(pid, tid)` lanes seen.
     pub threads: usize,
     /// Deepest observed span nesting.
@@ -359,7 +361,10 @@ pub struct ChromeSummary {
 /// (or any conforming producer): every event carries `ph`/`pid`/`tid`,
 /// `B`/`E` additionally carry `name` and a non-negative `ts`, per-lane
 /// timestamps are non-decreasing, every `E` matches the innermost open
-/// `B` by name, and every `B` is closed by end of stream.
+/// `B` by name, and every `B` is closed by end of stream. Async events
+/// (`b`/`n`/`e`) and flow events (`s`/`t`/`f`) must carry `name`, a
+/// non-negative `ts`, and an `id`; they tie lanes together by id and do
+/// not participate in the `B`/`E` stack.
 pub fn validate_chrome_trace(text: &str) -> Result<ChromeSummary, String> {
     let doc = Value::parse(text)?;
     let events = doc
@@ -369,6 +374,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeSummary, String> {
     let mut stacks: HashMap<(u64, u64), Vec<String>> = HashMap::new();
     let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
     let mut duration_events = 0usize;
+    let mut flow_events = 0usize;
     let mut max_depth = 0usize;
     for (i, ev) in events.iter().enumerate() {
         let ph = ev
@@ -421,6 +427,24 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeSummary, String> {
                 }
                 duration_events += 1;
             }
+            "b" | "e" | "n" | "s" | "t" | "f" => {
+                // Async (b/n/e) and flow (s/t/f) events: named, timed,
+                // id-keyed; outside the duration stack.
+                ev.get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("event {i}: {ph} without name"))?;
+                let ts = ev
+                    .get("ts")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: {ph} without ts"))?;
+                if !ts.is_finite() || ts < 0.0 {
+                    return Err(format!("event {i}: bad ts {ts}"));
+                }
+                ev.get("id")
+                    .filter(|id| id.as_f64().is_some() || id.as_str().is_some())
+                    .ok_or_else(|| format!("event {i}: {ph} without id"))?;
+                flow_events += 1;
+            }
             "M" | "C" | "I" | "X" => {}
             other => return Err(format!("event {i}: unsupported ph {other:?}")),
         }
@@ -435,6 +459,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeSummary, String> {
     Ok(ChromeSummary {
         total_events: events.len(),
         duration_events,
+        flow_events,
         threads: stacks.len(),
         max_depth,
     })

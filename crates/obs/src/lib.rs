@@ -15,6 +15,11 @@
 //!    to chrome-trace JSON (loadable in `chrome://tracing` / Perfetto), a
 //!    plain-text hierarchical profile (self/total time per span, per
 //!    thread), or a machine-readable [`report::MetricsReport`].
+//! 4. **Causal tracing** ([`ctx`], [`flight`], [`hist`]): request/job
+//!    [`TraceCtx`] ids explicitly relayed across thread boundaries and
+//!    rendered as chrome-trace async/flow lanes; an always-on per-thread
+//!    flight-recorder ring snapshotted into a JSON dump when a fault is
+//!    recorded; and a bounded-memory log-bucketed latency histogram.
 //!
 //! The crate deliberately has no dependencies so that every other crate
 //! in the workspace — including the vendored `rayon` shim — can
@@ -36,11 +41,16 @@
 #![warn(missing_docs)]
 
 pub mod counters;
+pub mod ctx;
+pub mod flight;
+pub mod hist;
 pub mod json;
 pub mod report;
 pub mod span;
 pub mod trace;
 
+pub use ctx::TraceCtx;
+pub use hist::LogHistogram;
 pub use span::{enter, SpanGuard};
 pub use trace::{is_tracing, start_trace, stop_trace, Trace};
 

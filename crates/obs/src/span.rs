@@ -24,17 +24,48 @@ pub enum EventKind {
     Begin,
     /// A span was exited.
     End,
+    /// An async/flow edge tied to a [`crate::ctx::TraceCtx`] id.
+    Flow(FlowPhase),
+}
+
+/// Which chrome-trace async/flow phase a [`EventKind::Flow`] event maps
+/// to. Async begin/end pairs draw one logical lane per context id; flow
+/// send/recv pairs draw arrows between the threads that handed work off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowPhase {
+    /// Async event begin (`ph:"b"`).
+    AsyncBegin,
+    /// Async event end (`ph:"e"`).
+    AsyncEnd,
+    /// Flow start: work leaves this thread (`ph:"s"`).
+    Send,
+    /// Flow finish: work lands on this thread (`ph:"f"`).
+    Recv,
+}
+
+impl FlowPhase {
+    /// The chrome-trace `ph` string for this phase.
+    pub fn ph(self) -> &'static str {
+        match self {
+            FlowPhase::AsyncBegin => "b",
+            FlowPhase::AsyncEnd => "e",
+            FlowPhase::Send => "s",
+            FlowPhase::Recv => "f",
+        }
+    }
 }
 
 /// One recorded span edge.
 #[derive(Clone, Copy, Debug)]
 pub struct Event {
-    /// Begin or end.
+    /// Begin, end, or async/flow edge.
     pub kind: EventKind,
     /// The span name passed to [`enter`].
     pub name: &'static str,
     /// Nanoseconds since the process-wide trace epoch.
     pub ts_ns: u64,
+    /// Context id for [`EventKind::Flow`] events; 0 for span edges.
+    pub id: u64,
 }
 
 /// The events recorded by one thread, in program order.
@@ -145,6 +176,7 @@ fn record_begin(name: &'static str) -> bool {
                     kind: EventKind::Begin,
                     name,
                     ts_ns,
+                    id: 0,
                 });
                 true
             }
@@ -168,9 +200,39 @@ fn record_end(name: &'static str) {
                 kind: EventKind::End,
                 name,
                 ts_ns,
+                id: 0,
             });
         })
         .is_some()
+    });
+    if !pushed {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Record an async/flow edge for a context id on the calling thread.
+/// One relaxed load when tracing is disabled; cap-checked like a `Begin`
+/// when enabled (flow edges have no close to synthesize).
+pub(crate) fn record_flow(phase: FlowPhase, name: &'static str, id: u64) {
+    if !TRACING.load(Ordering::Relaxed) {
+        return;
+    }
+    let ts_ns = now_ns();
+    let pushed = with_local(|buf| {
+        buf.try_with(|events| {
+            if events.len() >= MAX_EVENTS_PER_THREAD {
+                false
+            } else {
+                events.push(Event {
+                    kind: EventKind::Flow(phase),
+                    name,
+                    ts_ns,
+                    id,
+                });
+                true
+            }
+        })
+        .unwrap_or(false)
     });
     if !pushed {
         DROPPED.fetch_add(1, Ordering::Relaxed);

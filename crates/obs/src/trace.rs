@@ -112,6 +112,9 @@ fn walk_thread(events: &[Event], mut on_close: impl FnMut(usize, &[&'static str]
                 // Otherwise: an orphan End (its Begin was dropped, or it
                 // straddles a capture boundary) — ignore it.
             }
+            // Flow edges carry no duration; they render as async/flow
+            // chrome events and are invisible to the span tree.
+            EventKind::Flow(_) => {}
         }
     }
     while !stack.is_empty() {
@@ -181,6 +184,28 @@ impl Trace {
                                 ),
                             );
                         }
+                    }
+                    EventKind::Flow(phase) => {
+                        // Async/flow events: same lane, tied together by
+                        // the context id. Flow-finish binds to the
+                        // *enclosing* slice (`bp:"e"`), the rendering that
+                        // draws the arrow into the batch that ran it.
+                        let bp = match phase {
+                            crate::span::FlowPhase::Recv => ",\"bp\":\"e\"",
+                            _ => "",
+                        };
+                        push(
+                            &mut out,
+                            format!(
+                                "{{\"ph\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{},\"name\":\"{}\",\"cat\":\"tenbench.flow\",\"id\":{}{}}}",
+                                phase.ph(),
+                                t.tid,
+                                crate::json::json_f64_fixed(ev.ts_ns as f64 / 1000.0, 3),
+                                escape_json(ev.name),
+                                ev.id,
+                                bp
+                            ),
+                        );
                     }
                 }
             }

@@ -155,6 +155,76 @@ fn validator_rejects_malformed_traces() {
     assert_eq!(s.duration_events, 2);
 }
 
+/// Async/flow phases (`b`/`e`/`s`/`f`) are legal outside the B/E span
+/// stack but still require a name, a finite timestamp, and an id.
+#[test]
+fn validator_accepts_flow_phases_and_requires_their_ids() {
+    let good = r#"{"traceEvents":[
+        {"ph":"b","pid":1,"tid":0,"ts":0.0,"name":"request","cat":"tenbench.flow","id":7},
+        {"ph":"s","pid":1,"tid":0,"ts":1.0,"name":"request.queue","cat":"tenbench.flow","id":7},
+        {"ph":"f","pid":1,"tid":3,"ts":2.0,"name":"request.queue","cat":"tenbench.flow","id":7,"bp":"e"},
+        {"ph":"e","pid":1,"tid":3,"ts":3.0,"name":"request","cat":"tenbench.flow","id":7}
+    ]}"#;
+    let s = validate_chrome_trace(good).expect("flow-only trace validates");
+    assert_eq!(s.total_events, 4);
+    assert_eq!(s.flow_events, 4);
+    assert_eq!(s.duration_events, 0);
+    // Flow events do not perturb span-stack checking on the same lane.
+    let mixed = r#"{"traceEvents":[
+        {"ph":"B","pid":1,"tid":0,"ts":0.0,"name":"a"},
+        {"ph":"s","pid":1,"tid":0,"ts":1.0,"name":"request.queue","id":"0x7"},
+        {"ph":"E","pid":1,"tid":0,"ts":2.0,"name":"a"}
+    ]}"#;
+    let s = validate_chrome_trace(mixed).expect("mixed trace validates");
+    assert_eq!(s.duration_events, 2);
+    assert_eq!(s.flow_events, 1);
+    // Missing id is a schema violation.
+    let bad = r#"{"traceEvents":[{"ph":"b","pid":1,"tid":0,"ts":0.0,"name":"request"}]}"#;
+    assert!(validate_chrome_trace(bad).is_err());
+    // Non-finite timestamp too.
+    let bad = r#"{"traceEvents":[{"ph":"f","pid":1,"tid":0,"ts":1e999,"name":"x","id":1}]}"#;
+    assert!(validate_chrome_trace(bad).is_err());
+}
+
+/// A capture with installed trace contexts exports the request lifecycle
+/// as async/flow events carrying the minted id, and the result still
+/// passes the validator.
+#[test]
+fn captured_flow_events_export_with_their_ctx_id() {
+    let _g = obs_lock();
+    obs::start_trace();
+    let ctx = obs::TraceCtx::mint("request");
+    obs::ctx::async_begin("request", ctx);
+    obs::ctx::flow_send("request.queue", ctx);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let _guard = obs::ctx::install(ctx);
+            obs::ctx::flow_recv("request.queue", ctx);
+            let _span = obs::span!("request.exec");
+            obs::ctx::async_end("request", ctx);
+        });
+    });
+    let trace = obs::stop_trace();
+    let json = trace.to_chrome_json();
+    let summary = validate_chrome_trace(&json).expect("flow trace validates");
+    assert_eq!(summary.flow_events, 4);
+    assert_eq!(summary.duration_events, 2);
+    // Every flow event carries the minted id, stitching the lanes.
+    let doc = Value::parse(&json).unwrap();
+    let events = doc.get("traceEvents").and_then(Value::as_arr).unwrap();
+    let mut phases = Vec::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Value::as_str).unwrap();
+        if matches!(ph, "b" | "e" | "s" | "f") {
+            phases.push(ph.to_string());
+            assert_eq!(ev.get("id").and_then(Value::as_f64), Some(ctx.id as f64));
+            assert_eq!(ev.get("cat").and_then(Value::as_str), Some("tenbench.flow"));
+        }
+    }
+    phases.sort();
+    assert_eq!(phases, ["b", "e", "f", "s"]);
+}
+
 #[test]
 fn metrics_report_json_parses_and_renders() {
     let _g = obs_lock();

@@ -23,6 +23,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use tenbench_core::coo::CooTensor;
 use tenbench_core::dense::DenseMatrix;
 use tenbench_core::hicoo::{HicooTensor, VbHicooTensor};
+use tenbench_obs::flight::{self, FlightKind};
 
 /// Which blocked layout a cache entry materializes. The value-blocked
 /// variant pads each block's value run to a full SIMD lane multiple on a
@@ -170,8 +171,12 @@ impl PrepCache {
         coo: &Arc<CooTensor<f32>>,
     ) -> Result<(Arc<Prepared>, bool), String> {
         if let Some(found) = self.touch(key) {
+            // Charged to the worker's installed request ctx, so a fault
+            // dump shows whether the failing request was served hot.
+            flight::note(FlightKind::CacheHit, key.fingerprint);
             return Ok((found, true));
         }
+        flight::note(FlightKind::CacheMiss, key.fingerprint);
         let _span = tenbench_obs::span!("serve.prepare");
         let hicoo = Arc::new(
             HicooTensor::from_coo(coo.as_ref(), key.block_bits)
@@ -220,8 +225,9 @@ impl PrepCache {
         while g.entries.len() > 1
             && g.entries.iter().map(|(_, p)| p.bytes).sum::<u64>() > self.budget
         {
-            g.entries.remove(0);
+            let (evicted_key, _) = g.entries.remove(0);
             g.evictions += 1;
+            flight::note(FlightKind::CacheEvict, evicted_key.fingerprint);
         }
         Ok((prepared, false))
     }

@@ -840,6 +840,9 @@ impl JobShared {
 
 struct QueuedJob {
     job_id: u64,
+    /// Causal identity minted at admission; the job worker installs it so
+    /// checkpoint writes, faults, and recoveries are charged to this job.
+    ctx: obs::TraceCtx,
     spec: JobSpec,
     tx: mpsc::Sender<JobMsg>,
 }
@@ -897,10 +900,19 @@ impl JobService {
     pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, JobError> {
         let job_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
-        match self.queue.try_push(QueuedJob { job_id, spec, tx }) {
+        let ctx = obs::TraceCtx::mint("job");
+        let _g = obs::ctx::install(ctx);
+        match self.queue.try_push(QueuedJob {
+            job_id,
+            ctx,
+            spec,
+            tx,
+        }) {
             Ok(_) => {
                 self.shared.tally().submitted += 1;
                 obs::counters::JOB_SUBMITTED.add(1);
+                obs::ctx::async_begin("job", ctx);
+                obs::ctx::flow_send("job.queue", ctx);
                 Ok(JobTicket {
                     job_id,
                     rx,
@@ -932,6 +944,12 @@ impl JobService {
 fn worker_loop(queue: &Bounded<QueuedJob>, shared: &JobShared) {
     while let Some(job) = queue.pop() {
         let tx = job.tx.clone();
+        // The worker thread did not inherit the submitter's trace context;
+        // install the one carried on the job so everything the engine does
+        // — checkpoints, faults, recoveries — charges to the right job.
+        let ctx = job.ctx;
+        let _ctx_guard = obs::ctx::install(ctx);
+        obs::ctx::flow_recv("job.queue", ctx);
         // The engine is panic-free by construction (steps run guarded),
         // but a worker must never die silently even if that breaks: the
         // catch turns an engine bug into a typed failed job.
@@ -941,6 +959,7 @@ fn worker_loop(queue: &Bounded<QueuedJob>, shared: &JobShared) {
                 panic_message(p.as_ref())
             )))
         });
+        obs::ctx::async_end("job", ctx);
         {
             let mut t = shared.tally();
             match &result {
@@ -984,6 +1003,7 @@ fn run_job(job: QueuedJob, shared: &JobShared) -> Result<JobOutcome, JobError> {
         }
         *count += 1;
         obs::counters::JOB_CHECKPOINTS.add(1);
+        obs::flight::note(obs::flight::FlightKind::CkptWrite, *count);
         shared.tally().checkpoints += 1;
     };
     match method.checkpoint_bytes() {
@@ -1057,6 +1077,7 @@ fn run_job(job: QueuedJob, shared: &JobShared) -> Result<JobOutcome, JobError> {
         if let Some(last) = fault_text {
             recoveries += 1;
             shared.tally().recoveries += 1;
+            obs::flight::note(obs::flight::FlightKind::Retry, recoveries as u64);
             if recoveries > cfg.max_recoveries {
                 return Err(JobError::RetriesExhausted { recoveries, last });
             }
@@ -1070,19 +1091,32 @@ fn run_job(job: QueuedJob, shared: &JobShared) -> Result<JobOutcome, JobError> {
                         restored = true;
                         break;
                     }
-                    Err(_) => {
+                    Err(e) => {
                         corrupt_detected += 1;
                         shared.tally().corrupt_detected += 1;
                         obs::counters::JOB_CKPT_CORRUPT.add(1);
+                        obs::flight::dump(
+                            "ckpt_corrupt",
+                            obs::flight::FlightKind::CkptCorrupt,
+                            job.ctx.id,
+                            &format!(
+                                "job {} ({}): checkpoint generation rejected at iteration {}: {e}",
+                                job.job_id,
+                                method.label(),
+                                method.iteration()
+                            ),
+                        );
                     }
                 }
             }
             if restored {
                 obs::counters::JOB_RESUMES.add(1);
+                obs::flight::note(obs::flight::FlightKind::Resume, method.iteration() as u64);
             } else {
                 method.reinit();
                 reinits += 1;
                 shared.tally().reinits += 1;
+                obs::flight::note(obs::flight::FlightKind::Reinit, reinits as u64);
                 match method.checkpoint_bytes() {
                     Ok(b) => push_ckpt(&mut ckpts, b, &mut checkpoints),
                     Err(e) => return Err(JobError::Init(format!("reinit checkpoint failed: {e}"))),

@@ -11,6 +11,8 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
+use tenbench_obs::flight::{self, FlightKind};
+
 /// Why a push was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PushError {
@@ -74,18 +76,29 @@ impl<T> Bounded<T> {
 
     /// Try to enqueue. Returns the depth after the push, or the item back
     /// with the reason it was refused.
+    ///
+    /// Admission is also where the flight recorder sees the item: the
+    /// outcome is charged to the submitter's installed
+    /// [`tenbench_obs::TraceCtx`] (callers mint and install one before
+    /// pushing), so a later fault dump shows when and how deep each
+    /// request entered the system.
     pub fn try_push(&self, item: T) -> Result<usize, (T, PushError)> {
         let mut g = self.lock();
         if g.closed {
+            drop(g);
+            flight::note(FlightKind::Reject, 0);
             return Err((item, PushError::Closed));
         }
         if g.items.len() >= self.bound {
+            drop(g);
+            flight::note(FlightKind::Reject, self.bound as u64);
             return Err((item, PushError::Full));
         }
         g.items.push_back(item);
         let depth = g.items.len();
         g.max_depth = g.max_depth.max(depth);
         drop(g);
+        flight::note(FlightKind::Admit, depth as u64);
         self.not_empty.notify_one();
         Ok(depth)
     }

@@ -377,6 +377,9 @@ struct Pending {
     fingerprint: u64,
     enqueued: Instant,
     deadline_at: Option<Instant>,
+    /// Causal identity minted at admission; carried through batching and
+    /// onto the worker so the request renders as one connected lane.
+    ctx: obs::TraceCtx,
     tx: mpsc::Sender<Result<Response, ServeError>>,
 }
 
@@ -394,7 +397,9 @@ impl Pending {
 
 #[derive(Default)]
 struct Tally {
-    latencies_ms: Vec<f64>,
+    /// Streaming log-bucketed latency distribution: memory stays bounded
+    /// no matter how many requests the overload burst pushes through.
+    latency: obs::LogHistogram,
     completed: u64,
     failed: u64,
     rejected_deadline: u64,
@@ -480,15 +485,27 @@ impl KernelService {
         let fingerprint = req.tensor.fingerprint();
         let (tx, rx) = mpsc::channel();
         let now = Instant::now();
+        // Admission is where the request's causal identity is minted; the
+        // async lane opens here on the submitting thread and closes on
+        // whichever worker answers.
+        let ctx = obs::TraceCtx::mint("request");
         let pending = Pending {
             deadline_at: req.deadline.map(|d| now + d),
             fingerprint,
             enqueued: now,
-            req,
+            ctx,
             tx,
+            req,
         };
+        // Install the ctx for the admission call: the queue charges its
+        // admit/reject flight events to the installed context.
+        let _g = obs::ctx::install(ctx);
         match self.shared.queue.try_push(pending) {
-            Ok(_) => Ok(Ticket { rx }),
+            Ok(_) => {
+                obs::ctx::async_begin("request", ctx);
+                obs::ctx::flow_send("request.queue", ctx);
+                Ok(Ticket { rx })
+            }
             Err((_, PushError::Full)) => {
                 self.shared.rejected_full.fetch_add(1, Ordering::Relaxed);
                 Err(ServeError::Rejected(RejectReason::QueueFull {
@@ -543,6 +560,8 @@ fn worker_loop(sh: &Shared) {
             let mut t = lock_tally(&sh.tally);
             t.rejected_deadline += 1;
             drop(t);
+            obs::flight::note_ctx(obs::flight::FlightKind::Shed, head.ctx.id, queued_ms as u64);
+            obs::ctx::async_end("request", head.ctx);
             let _ = head
                 .tx
                 .send(Err(ServeError::Rejected(RejectReason::DeadlineExpired {
@@ -557,6 +576,19 @@ fn worker_loop(sh: &Shared) {
                 p.batch_key() == key && p.deadline_at.is_none_or(|d| now <= d)
             }));
         }
+        // The batch leader's context is installed for the whole batch
+        // execution (cache, executor, pool regions); every member's flow
+        // arrow lands on this worker's lane.
+        let leader_ctx = group[0].ctx;
+        let _ctx_guard = obs::ctx::install(leader_ctx);
+        for p in &group {
+            obs::ctx::flow_recv("request.queue", p.ctx);
+        }
+        obs::flight::note_ctx(
+            obs::flight::FlightKind::BatchClaim,
+            leader_ctx.id,
+            group.len() as u64,
+        );
 
         let _span = obs::span!("serve.batch");
         let t0 = Instant::now();
@@ -599,14 +631,15 @@ fn worker_loop(sh: &Shared) {
             Err(_) => t.failed += batch_size as u64,
         }
         for p in &group {
-            t.latencies_ms
-                .push(done.duration_since(p.enqueued).as_secs_f64() * 1e3);
+            t.latency
+                .record(done.duration_since(p.enqueued).as_secs_f64() * 1e3);
         }
         drop(t);
 
         for p in group {
             let queued_ms = now.duration_since(p.enqueued).as_secs_f64() * 1e3;
             let total_ms = done.duration_since(p.enqueued).as_secs_f64() * 1e3;
+            obs::ctx::async_end("request", p.ctx);
             let msg = match &outcome {
                 Ok((o, hit)) => Ok(Response {
                     digest: o.digest,
@@ -622,14 +655,6 @@ fn worker_loop(sh: &Shared) {
             let _ = p.tx.send(msg);
         }
     }
-}
-
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let at = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[at.min(sorted.len() - 1)]
 }
 
 /// The service's exported metrics: throughput, shedding, batching, queue
@@ -680,8 +705,9 @@ impl ServeReport {
         workers: usize,
         cache: CacheStats,
     ) -> ServeReport {
-        let mut lat = t.latencies_ms.clone();
-        lat.sort_by(|a, b| a.total_cmp(b));
+        // Percentiles come from the streaming histogram: accurate to one
+        // log bucket (~9% relative), O(1) memory regardless of load.
+        let lat = &t.latency;
         ServeReport {
             duration_s,
             completed: t.completed,
@@ -699,10 +725,10 @@ impl ServeReport {
             } else {
                 0.0
             },
-            p50_ms: percentile(&lat, 50.0),
-            p90_ms: percentile(&lat, 90.0),
-            p99_ms: percentile(&lat, 99.0),
-            max_ms: lat.last().copied().unwrap_or(0.0),
+            p50_ms: lat.percentile(50.0),
+            p90_ms: lat.percentile(90.0),
+            p99_ms: lat.percentile(99.0),
+            max_ms: lat.max(),
             queue_bound,
             max_queue_depth,
             workers,

@@ -294,6 +294,10 @@ mod pool {
         threads: usize,
         /// Participant-index allocator; the submitting caller holds 0.
         next_index: AtomicUsize,
+        /// Causal context of the submitting thread, relayed onto every
+        /// helper for the duration of its participation (thread-locals do
+        /// not inherit, so the handoff must be explicit).
+        ctx: Option<tenbench_obs::ctx::TraceCtx>,
         /// Erased pointer to the caller's chunk body.
         body: *const Body,
         state: Mutex<JobState>,
@@ -407,6 +411,7 @@ mod pool {
             let index = job.next_index.fetch_add(1, Ordering::Relaxed);
             let prev_threads = CURRENT_THREADS.with(|c| c.replace(Some(job.threads)));
             let prev_index = THREAD_INDEX.with(|c| c.replace(Some(index)));
+            let ctx_guard = tenbench_obs::ctx::install_opt(job.ctx);
             let busy_t0 = telemetry_enabled().then(Instant::now);
             let result = catch_unwind(AssertUnwindSafe(|| job.drain()));
             if let Some(t0) = busy_t0 {
@@ -419,6 +424,13 @@ mod pool {
                     CHUNKS_STOLEN.fetch_add(*executed, Ordering::Relaxed);
                 }
             }
+            if let Ok(executed) = &result {
+                if *executed > 0 {
+                    // One flight event per region-join, not per chunk.
+                    tenbench_obs::flight::note(tenbench_obs::flight::FlightKind::Steal, *executed);
+                }
+            }
+            drop(ctx_guard);
             THREAD_INDEX.with(|c| c.set(prev_index));
             CURRENT_THREADS.with(|c| c.set(prev_threads));
             if let Err(payload) = result {
@@ -519,6 +531,7 @@ mod pool {
             len,
             threads,
             next_index: AtomicUsize::new(1),
+            ctx: tenbench_obs::ctx::current(),
             body: erased,
             state: Mutex::new(JobState {
                 joined: 0,
