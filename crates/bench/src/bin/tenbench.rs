@@ -34,6 +34,7 @@
 //!                   [--queue-bound Q] [--max-batch B] [--cache-mb M]
 //!                   [--deadline-ms D] [--max-p99-ms X] [--min-hit-ratio H]
 //!                   [--out BENCH_serve.json] [--flight-dump-dir DIR]
+//!                   [--net] [--connections C] [--shards S]
 //! tenbench chaos    [--seed S] [--duration 3s] [--jobs J] [--dim D]
 //!                   [--nnz N] [--tensors T] [--alpha A] [--clients C]
 //!                   [--rank R] [--max-iters I] [--fault-rate P]
@@ -70,6 +71,12 @@
 //! `BENCH_serve.json` with p50/p90/p99 latency, throughput, and cache hit
 //! ratio. Its gates (`--max-p99-ms`, `--min-hit-ratio`, and a mandatory
 //! typed queue-full rejection under overload) fail the process for CI.
+//! With `--net` the same load instead travels over loopback TCP: a
+//! `NetServer` with `--shards` fingerprint-partitioned shards serves
+//! `--connections` concurrent client connections speaking the `TNF1`
+//! frame protocol, latency is measured client-side around the socket
+//! round trip, and two extra gates apply — zero requests lost without a
+//! typed answer, and zero server-side protocol errors.
 //!
 //! `chaos` runs the fault-injection harness: kernel traffic plus
 //! long-running decomposition jobs on one live service stack, with
@@ -135,7 +142,7 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
     let mut pos: Vec<String> = Vec::new();
     let mut opts: std::collections::HashMap<String, String> = std::collections::HashMap::new();
     // Flags that do not consume a value.
-    const SWITCHES: [&str; 2] = ["profile", "all"];
+    const SWITCHES: [&str; 3] = ["profile", "all", "net"];
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
@@ -479,7 +486,20 @@ fn run() -> Result<String, Box<dyn std::error::Error>> {
                 min_hit_ratio,
                 out_json: opts.get("out").map(PathBuf::from),
             };
-            Ok(cli::stress(&stress_opts, serve_cfg, &supervisor_cfg())?)
+            if opts.contains_key("net") {
+                let net_opts = cli::NetStressOpts {
+                    connections: get_usize("connections", 200)?,
+                    shards: get_usize("shards", 2)?,
+                };
+                Ok(cli::stress_net(
+                    &stress_opts,
+                    &net_opts,
+                    serve_cfg,
+                    &supervisor_cfg(),
+                )?)
+            } else {
+                Ok(cli::stress(&stress_opts, serve_cfg, &supervisor_cfg())?)
+            }
         }
         Some("chaos") => {
             let defaults = tenbench_bench::chaos::ChaosConfig::default();

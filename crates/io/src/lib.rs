@@ -12,7 +12,10 @@
 //! * [`ckpt`] — the `TNC1` factor-matrix checkpoint container used by
 //!   long-running decomposition jobs, with the same CRC-32-per-section
 //!   discipline as `TNB2`.
-//! * [`crc32`] — the CRC-32 used by `TNB2` and `TNC1`.
+//! * [`frame`] — the `TNF1` length-prefixed wire frame used by the
+//!   networked serving tier, carrying the same CRC-32-per-section
+//!   discipline onto the socket.
+//! * [`crc32`] — the CRC-32 used by `TNB2`, `TNC1`, and `TNF1`.
 //! * [`fault`] — fault-injection `Read`/`Write` wrappers for corruption
 //!   testing.
 //!
@@ -27,6 +30,7 @@ pub mod bin;
 pub mod ckpt;
 pub mod crc32;
 pub mod fault;
+pub mod frame;
 pub mod tns;
 
 use std::fmt;

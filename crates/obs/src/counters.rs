@@ -153,11 +153,24 @@ pub static BACKEND_SCALAR_FALLBACKS: Counter = Counter::new("backend.scalar_fall
 /// lacks the required vector ISA (e.g. forced Simd without AVX2).
 pub static BACKEND_UNSUPPORTED_TARGET: Counter = Counter::new("backend.unsupported_target");
 
+/// Connections accepted by the networked serving tier.
+pub static NET_CONNECTIONS: Counter = Counter::new("net.connections");
+/// Request frames decoded off the wire.
+pub static NET_REQUESTS: Counter = Counter::new("net.requests");
+/// Response frames written to the wire (completions and typed statuses).
+pub static NET_RESPONSES: Counter = Counter::new("net.responses");
+/// Protocol-level error frames written (corrupt/undecodable requests).
+pub static NET_PROTOCOL_ERRORS: Counter = Counter::new("net.protocol_errors");
+/// Payload bytes received in request frames.
+pub static NET_BYTES_IN: Counter = Counter::new("net.bytes_in");
+/// Payload bytes sent in response and error frames.
+pub static NET_BYTES_OUT: Counter = Counter::new("net.bytes_out");
+
 /// Worker threads installed in the process-wide pool (gauge).
 pub static POOL_WORKERS: Gauge = Gauge::new("pool.workers");
 
 /// All registered counters, in a stable order.
-pub fn all() -> [&'static Counter; 17] {
+pub fn all() -> [&'static Counter; 23] {
     [
         &FLOPS,
         &BYTES,
@@ -176,6 +189,12 @@ pub fn all() -> [&'static Counter; 17] {
         &BACKEND_SIMD_CALLS,
         &BACKEND_SCALAR_FALLBACKS,
         &BACKEND_UNSUPPORTED_TARGET,
+        &NET_CONNECTIONS,
+        &NET_REQUESTS,
+        &NET_RESPONSES,
+        &NET_PROTOCOL_ERRORS,
+        &NET_BYTES_IN,
+        &NET_BYTES_OUT,
     ]
 }
 

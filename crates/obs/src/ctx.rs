@@ -53,6 +53,18 @@ impl TraceCtx {
             kind,
         }
     }
+
+    /// Mint a context whose parent arrived as a raw id — the shape of a
+    /// trace id carried over the wire in a frame header, where the
+    /// originating [`TraceCtx`] lives in another process. A parent of 0
+    /// mints a root.
+    pub fn mint_with_parent(kind: &'static str, parent: u64) -> TraceCtx {
+        TraceCtx {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            parent,
+            kind,
+        }
+    }
 }
 
 thread_local! {
@@ -138,6 +150,11 @@ mod tests {
         let c = a.child("job");
         assert_eq!(c.parent, a.id);
         assert_ne!(c.id, a.id);
+        // Wire-carried parent ids link the same way, and 0 mints a root.
+        let d = TraceCtx::mint_with_parent("request", c.id);
+        assert_eq!(d.parent, c.id);
+        assert_ne!(d.id, c.id);
+        assert_eq!(TraceCtx::mint_with_parent("request", 0).parent, 0);
     }
 
     #[test]

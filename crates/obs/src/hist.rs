@@ -26,6 +26,12 @@ pub const HI_MS: f64 = 600_000.0;
 const OCTAVES: usize = 30;
 const BUCKETS: usize = OCTAVES * SUB_BUCKETS;
 
+/// Sub-bucket upper edges within one octave: `2^(j/SUB_BUCKETS)` for
+/// `j = 1..SUB_BUCKETS` (the last edge, 2.0, is implied by the octave).
+static SUB_EDGES: std::sync::LazyLock<[f64; SUB_BUCKETS - 1]> = std::sync::LazyLock::new(|| {
+    std::array::from_fn(|j| 2f64.powf((j + 1) as f64 / SUB_BUCKETS as f64))
+});
+
 /// A bounded-memory latency histogram with log-spaced buckets.
 #[derive(Clone, Debug)]
 pub struct LogHistogram {
@@ -56,8 +62,27 @@ impl LogHistogram {
 
     fn bucket(value_ms: f64) -> usize {
         let clamped = value_ms.clamp(LO_MS, HI_MS);
-        let idx = ((clamped / LO_MS).log2() * SUB_BUCKETS as f64).floor() as usize;
-        idx.min(BUCKETS - 1)
+        // `clamped / LO_MS` is exact for samples sitting on an octave
+        // edge (LO_MS · 2^k shares LO_MS's mantissa, so the quotient is
+        // exactly 2^k), but `log2().floor()` is not: libm rounding can
+        // land such a sample one bucket off. Take the octave straight
+        // from the exponent bits instead, then place the mantissa within
+        // the octave against the precomputed sub-bucket edges.
+        let ratio = clamped / LO_MS;
+        debug_assert!(ratio >= 1.0);
+        let bits = ratio.to_bits();
+        let octave = ((bits >> 52) & 0x7ff) as usize - 1023;
+        // Mantissa restored to [1, 2): the fractional position in the octave.
+        let mantissa = f64::from_bits((bits & ((1u64 << 52) - 1)) | (1023u64 << 52));
+        // Edges 2^(j/S) for j = 1..S; mantissa < edge[j-1] ⇒ sub-bucket j-1.
+        let mut sub = SUB_BUCKETS - 1;
+        for (j, &edge) in SUB_EDGES.iter().enumerate() {
+            if mantissa < edge {
+                sub = j;
+                break;
+            }
+        }
+        (octave * SUB_BUCKETS + sub).min(BUCKETS - 1)
     }
 
     /// The geometric midpoint a bucket reports for its samples.
@@ -242,6 +267,74 @@ mod tests {
             assert_eq!(a.percentile(p), c.percentile(p));
         }
         assert_eq!(a.max(), c.max());
+    }
+
+    #[test]
+    fn octave_edges_land_in_their_own_bucket() {
+        // A sample at exactly LO_MS · 2^k opens octave k: bucket
+        // k·SUB_BUCKETS, never one off. The old log2().floor() bucketing
+        // could misplace these by a bucket when libm rounded the log down.
+        for k in 0..OCTAVES {
+            let v = LO_MS * (k as f64).exp2();
+            let got = LogHistogram::bucket(v.min(HI_MS));
+            let want = (k * SUB_BUCKETS).min(BUCKETS - 1);
+            assert_eq!(got, want, "LO_MS · 2^{k} bucketed at {got}, want {want}");
+            // Just below the edge stays in the previous octave's last
+            // sub-bucket; just above stays in this one.
+            if k > 0 && v < HI_MS {
+                let below = LogHistogram::bucket(v * (1.0 - 1e-12));
+                assert_eq!(below, want - 1, "below edge 2^{k}");
+                let above = LogHistogram::bucket(v * (1.0 + 1e-12));
+                assert_eq!(above, want, "above edge 2^{k}");
+            }
+        }
+        // The clamping extremes collapse onto the buckets holding LO/HI.
+        assert_eq!(LogHistogram::bucket(0.0), 0);
+        assert_eq!(
+            LogHistogram::bucket(HI_MS * 10.0),
+            LogHistogram::bucket(HI_MS)
+        );
+    }
+
+    #[test]
+    fn bucket_matches_reported_span() {
+        // Every in-range bucket's reported midpoint must bucket back to
+        // itself: the placement function and the reporting span agree.
+        for idx in 0..BUCKETS {
+            let mid = LogHistogram::bucket_mid(idx);
+            if mid > HI_MS {
+                break; // past the clamp range, midpoints collapse onto HI
+            }
+            assert_eq!(LogHistogram::bucket(mid), idx);
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_side_pins_min_max() {
+        let mut filled = LogHistogram::new();
+        filled.record(2.0);
+        filled.record(8.0);
+        // Merging an empty histogram in must not disturb anything —
+        // in particular the empty side's ±inf min/max sentinels must not
+        // leak into the totals.
+        filled.merge(&LogHistogram::new());
+        assert_eq!(filled.count(), 2);
+        assert_eq!(filled.min(), 2.0);
+        assert_eq!(filled.max(), 8.0);
+        assert_eq!(filled.mean(), 5.0);
+        // Merging into an empty histogram adopts the other side exactly.
+        let mut empty = LogHistogram::new();
+        empty.merge(&filled);
+        assert_eq!(empty.count(), 2);
+        assert_eq!(empty.min(), 2.0);
+        assert_eq!(empty.max(), 8.0);
+        assert_eq!(empty.percentile(50.0), filled.percentile(50.0));
+        // Two empties stay empty (and report zeros, not sentinels).
+        let mut a = LogHistogram::new();
+        a.merge(&LogHistogram::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.min(), 0.0);
+        assert_eq!(a.max(), 0.0);
     }
 
     #[test]

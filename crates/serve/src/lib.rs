@@ -29,6 +29,11 @@
 //! generator in [`stress`] drives the service closed-loop with
 //! Zipf-skewed tensor popularity and probes overload behaviour.
 //!
+//! The service also has a socket-facing shape: [`net`] puts N sharded
+//! `KernelService`s (partitioned by tensor fingerprint) behind a TCP
+//! accept loop speaking the `TNF1` frame protocol from `tenbench_io`,
+//! mapping every typed rejection onto a wire status code.
+//!
 //! Above single requests, [`job`] runs the multi-iteration decomposition
 //! methods (CP-ALS, the tensor power method, the TTM-chain) as
 //! long-running supervised jobs with per-iteration checkpoint/resume and
@@ -39,6 +44,7 @@
 
 pub mod cache;
 pub mod job;
+pub mod net;
 pub mod queue;
 pub mod service;
 pub mod stress;
@@ -48,6 +54,10 @@ pub use job::{
     FaultInjector, InjectedFault, InlineStepRunner, JobConfig, JobError, JobKind, JobOutcome,
     JobProgress, JobService, JobServiceReport, JobSpec, JobTicket, ScriptedFaults, StepRunner,
     StepVerdict,
+};
+pub use net::{
+    decode_response, encode_request, NetClient, NetConfig, NetReport, NetServer, WireRequest,
+    WireResponse, WireStatus,
 };
 pub use service::{
     execute_direct, BatchJob, DirectExecutor, ExecOutcome, Executor, FormatKind, KernelService,

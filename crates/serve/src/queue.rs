@@ -124,18 +124,34 @@ impl<T> Bounded<T> {
     /// Remove up to `max` queued items matching `pred`, preserving the
     /// order of everything else. Never blocks — this is how a worker
     /// claims batch-mates for the request it just popped.
+    ///
+    /// The scan is in place: each item is popped off the front and either
+    /// taken or rotated to the back, and once `max` items are claimed the
+    /// unscanned remainder is rotated past in one bulk `rotate_left`. No
+    /// replacement deque is allocated and the predicate stops running as
+    /// soon as the batch is full, so admission (which contends on the same
+    /// lock) is stalled for work proportional to the scanned depth, not
+    /// for a full rebuild of the queue on every batch claim.
     pub fn drain_where(&self, max: usize, mut pred: impl FnMut(&T) -> bool) -> Vec<T> {
         let mut g = self.lock();
+        let len = g.items.len();
         let mut taken = Vec::new();
-        let mut kept = VecDeque::with_capacity(g.items.len());
-        while let Some(item) = g.items.pop_front() {
-            if taken.len() < max && pred(&item) {
+        let mut scanned = 0;
+        while scanned < len && taken.len() < max {
+            scanned += 1;
+            // The pop cannot fail: `scanned` never exceeds the starting
+            // length and only scanned items leave the deque.
+            let item = g.items.pop_front().expect("scan within bounds");
+            if pred(&item) {
                 taken.push(item);
             } else {
-                kept.push_back(item);
+                g.items.push_back(item);
             }
         }
-        g.items = kept;
+        // Kept items sit behind the unscanned ones; one rotation restores
+        // the original relative order.
+        let unscanned = len - scanned;
+        g.items.rotate_left(unscanned);
         taken
     }
 
@@ -180,6 +196,34 @@ mod tests {
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(3));
         assert_eq!(q.pop(), Some(4));
+    }
+
+    #[test]
+    fn drain_where_scan_is_depth_proportional_and_in_place() {
+        let q = Bounded::new(1024);
+        for i in 0..1000 {
+            q.try_push(i).unwrap();
+        }
+        let cap_before = q.lock().items.capacity();
+        // The batch fills after the first three matches: the predicate
+        // must stop running there instead of walking the whole queue.
+        let mut calls = 0;
+        let taken = q.drain_where(3, |x| {
+            calls += 1;
+            x % 2 == 0
+        });
+        assert_eq!(taken, vec![0, 2, 4]);
+        assert_eq!(calls, 5, "predicate ran past the filled batch");
+        // Order of everything else is preserved exactly…
+        let expect: Vec<i32> = (0..1000).filter(|x| !taken.contains(x)).collect();
+        let got: Vec<i32> = std::iter::from_fn(|| {
+            let mut g = q.lock();
+            g.items.pop_front()
+        })
+        .collect();
+        assert_eq!(got, expect);
+        // …and no replacement deque was allocated for the claim.
+        assert_eq!(q.lock().items.capacity(), cap_before);
     }
 
     #[test]

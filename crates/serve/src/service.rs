@@ -487,8 +487,14 @@ impl KernelService {
         let now = Instant::now();
         // Admission is where the request's causal identity is minted; the
         // async lane opens here on the submitting thread and closes on
-        // whichever worker answers.
-        let ctx = obs::TraceCtx::mint("request");
+        // whichever worker answers. When the submitter already runs under
+        // a context — a connection handler that installed the wire-carried
+        // ctx — the request becomes its child, stitching client → shard →
+        // pool worker into one causal chain.
+        let ctx = match obs::ctx::current() {
+            Some(parent) => parent.child("request"),
+            None => obs::TraceCtx::mint("request"),
+        };
         let pending = Pending {
             deadline_at: req.deadline.map(|d| now + d),
             fingerprint,
@@ -748,7 +754,7 @@ impl ServeReport {
                 "\"p50_ms\": {}, \"p90_ms\": {}, \"p99_ms\": {}, \"max_ms\": {}, ",
                 "\"queue_bound\": {}, \"max_queue_depth\": {}, \"workers\": {}, ",
                 "\"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, ",
-                "\"entries\": {}, \"bytes\": {}, \"hit_ratio\": {}}}}}"
+                "\"collisions\": {}, \"entries\": {}, \"bytes\": {}, \"hit_ratio\": {}}}}}"
             ),
             f(self.duration_s),
             self.completed,
@@ -768,6 +774,7 @@ impl ServeReport {
             self.cache.hits,
             self.cache.misses,
             self.cache.evictions,
+            self.cache.collisions,
             self.cache.entries,
             self.cache.bytes,
             f(self.cache.hit_ratio()),

@@ -164,6 +164,27 @@ impl Bytes {
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
+
+    /// The unconsumed bytes as a contiguous slice (upstream `Buf::chunk`).
+    /// This is the zero-copy handoff point: a parser that wants a `&[u8]`
+    /// view of the rest of the buffer borrows it here instead of copying.
+    pub fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    /// Consume `cnt` bytes without copying them (upstream `Buf::advance`).
+    ///
+    /// # Panics
+    /// If `cnt` exceeds [`Buf::remaining`], matching upstream.
+    pub fn advance(&mut self, cnt: usize) {
+        assert!(
+            cnt <= self.remaining(),
+            "advance out of bounds: need {} have {}",
+            cnt,
+            self.remaining()
+        );
+        self.pos += cnt;
+    }
 }
 
 impl From<Vec<u8>> for Bytes {
@@ -220,6 +241,26 @@ mod tests {
         assert_eq!(r.get_f32_le(), 1.5);
         assert_eq!(r.get_f64_le(), -2.25);
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn chunk_and_advance_track_the_cursor() {
+        let mut r = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        assert_eq!(r.chunk(), &[1, 2, 3, 4, 5]);
+        assert_eq!(r.get_u8(), 1);
+        assert_eq!(r.chunk(), &[2, 3, 4, 5]);
+        r.advance(2);
+        assert_eq!(r.chunk(), &[4, 5]);
+        assert_eq!(r.remaining(), 2);
+        r.advance(2);
+        assert_eq!(r.chunk(), &[] as &[u8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance out of bounds")]
+    fn advance_past_end_panics_like_upstream() {
+        let mut r = Bytes::from(vec![1u8]);
+        r.advance(2);
     }
 
     #[test]
